@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every paper artifact (Figures 2-7, Tables 2-5) has a benchmark that
+regenerates it through the experiment harness; ``run_experiment_once`` wires
+an experiment runner into pytest-benchmark (one round — the experiments are
+deterministic model evaluations) and emits the regenerated rows with ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment_once(benchmark, runner, **options):
+    """Benchmark one experiment execution and assert its paper checks pass."""
+    result = benchmark.pedantic(lambda: runner(**options), rounds=1, iterations=1)
+    assert result.all_passed, "\n" + "\n".join(
+        c.to_text() for c in result.comparisons if not c.passed)
+    print()
+    print(result.to_text())
+    return result

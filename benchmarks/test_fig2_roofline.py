@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 2 (roofline placement on H100)."""
+
+from repro.experiments.fig2_roofline import run
+
+from .conftest import run_experiment_once
+
+
+def test_fig2_roofline(benchmark):
+    run_experiment_once(benchmark, run, quick=True)

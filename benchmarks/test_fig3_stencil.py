@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 3 (stencil bandwidth, Mojo vs CUDA/HIP)."""
+
+from repro.experiments.fig3_stencil import run
+
+from .conftest import run_experiment_once
+
+
+def test_fig3_stencil_bandwidth(benchmark):
+    run_experiment_once(benchmark, run, quick=False, iterations=10)

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 4 (BabelStream bandwidth, Mojo vs CUDA/HIP)."""
+
+from repro.experiments.fig4_babelstream import run
+
+from .conftest import run_experiment_once
+
+
+def test_fig4_babelstream_bandwidth(benchmark):
+    run_experiment_once(benchmark, run, quick=True)

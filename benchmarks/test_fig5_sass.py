@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 5 (Triad instruction-mix comparison)."""
+
+from repro.experiments.fig5_sass import run
+
+from .conftest import run_experiment_once
+
+
+def test_fig5_triad_sass_comparison(benchmark):
+    run_experiment_once(benchmark, run, quick=True)

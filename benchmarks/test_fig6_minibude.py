@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 6 (miniBUDE GFLOP/s on H100)."""
+
+from repro.experiments.fig6_minibude_h100 import run
+
+from .conftest import run_experiment_once
+
+
+def test_fig6_minibude_h100(benchmark):
+    run_experiment_once(benchmark, run, quick=False)

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Figure 7 (miniBUDE GFLOP/s on MI300A)."""
+
+from repro.experiments.fig7_minibude_mi300a import run
+
+from .conftest import run_experiment_once
+
+
+def test_fig7_minibude_mi300a(benchmark):
+    run_experiment_once(benchmark, run, quick=False)

@@ -1,0 +1,77 @@
+"""Host-side microbenchmarks of the real execution paths.
+
+Unlike the figure/table benches (which evaluate the analytic device model),
+these measure genuine wall-clock of the repository's executable components:
+the vectorized workload references and the functional thread-level simulator.
+They guard against performance regressions in the substrate itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DType
+from repro.core.kernel import LaunchConfig
+from repro.gpu.executor import KernelExecutor
+from repro.kernels.babelstream import BabelStreamArrays
+from repro.kernels.hartreefock import compute_schwarz, make_helium_system, surviving_quadruple_fraction
+from repro.kernels.minibude import make_deck, reference_energies
+from repro.kernels.stencil import StencilProblem, laplacian_reference
+from repro.kernels.stencil.kernel import laplacian_kernel
+from repro.kernels.stencil.runner import stencil_launch_config
+
+
+def test_bench_stencil_reference_l128(benchmark):
+    problem = StencilProblem(128, "float64")
+    u = problem.initial_field()
+    args = problem.inverse_spacing_squared
+    result = benchmark(laplacian_reference, u, *args)
+    assert result.shape == u.shape
+
+
+def test_bench_babelstream_reference_iteration(benchmark):
+    arrays = BabelStreamArrays(2 ** 22, "float64")
+    dot = benchmark(arrays.run_iteration)
+    assert np.isfinite(dot)
+
+
+def test_bench_minibude_reference_energies(benchmark):
+    deck = make_deck(natlig=26, natpro=256, ntypes=32, nposes=512, seed=9)
+    energies = benchmark(reference_energies, deck)
+    assert energies.shape == (512,)
+
+
+def test_bench_hartreefock_schwarz_screening(benchmark):
+    system = make_helium_system(96, 3)
+
+    def run():
+        schwarz = compute_schwarz(system)
+        return surviving_quadruple_fraction(schwarz)
+
+    fraction = benchmark(run)
+    assert 0 < fraction < 1
+
+
+def test_bench_functional_executor_stencil(benchmark):
+    """Thread-level simulator throughput on a small stencil grid."""
+    problem = StencilProblem(12, "float64")
+    u_host = problem.initial_field()
+    invhx2, invhy2, invhz2, invhxyz2 = problem.inverse_spacing_squared
+    executor = KernelExecutor()
+
+    from repro.core.layout import Layout, LayoutTensor
+    layout = Layout.row_major(12, 12, 12)
+    u = LayoutTensor(DType.float64, layout, u_host.reshape(-1).copy(), mut=False,
+                     bounds_check=False)
+    f_store = np.zeros(12 ** 3)
+    f = LayoutTensor(DType.float64, layout, f_store, bounds_check=False)
+    launch = stencil_launch_config(12, (4, 4, 4))
+
+    def run():
+        f_store[:] = 0.0
+        executor.launch(laplacian_kernel,
+                        (f, u, 12, 12, 12, invhx2, invhy2, invhz2, invhxyz2),
+                        launch)
+        return f_store
+
+    result = benchmark(run)
+    assert np.any(result != 0.0)

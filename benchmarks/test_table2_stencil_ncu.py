@@ -1,0 +1,9 @@
+"""Benchmark regenerating Table 2 (stencil ncu profiling metrics)."""
+
+from repro.experiments.table2_stencil_ncu import run
+
+from .conftest import run_experiment_once
+
+
+def test_table2_stencil_ncu(benchmark):
+    run_experiment_once(benchmark, run, quick=True)

@@ -1,0 +1,9 @@
+"""Benchmark regenerating Table 3 (BabelStream ncu profiling metrics)."""
+
+from repro.experiments.table3_babelstream_ncu import run
+
+from .conftest import run_experiment_once
+
+
+def test_table3_babelstream_ncu(benchmark):
+    run_experiment_once(benchmark, run, quick=True)

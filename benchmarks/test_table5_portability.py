@@ -1,0 +1,9 @@
+"""Benchmark regenerating Table 5 (performance-portability metric Φ)."""
+
+from repro.experiments.table5_portability import run
+
+from .conftest import run_experiment_once
+
+
+def test_table5_portability(benchmark):
+    run_experiment_once(benchmark, run, quick=True)

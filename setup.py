@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that fully offline environments (no access to PyPI for the
+``wheel``/``setuptools`` build isolation requirements) can still perform an
+editable install with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

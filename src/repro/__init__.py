@@ -1,0 +1,42 @@
+"""repro: reproduction of the SC Workshops '25 Mojo GPU science-kernels paper.
+
+The package provides a Mojo-style portable GPU programming model executed on a
+simulated device, backends standing in for the Mojo/CUDA/HIP toolchains, the
+four science workloads of the paper (seven-point stencil, BabelStream,
+miniBUDE, Hartree–Fock), a profiling substrate, and a benchmark harness that
+regenerates every table and figure of the paper's evaluation.
+"""
+
+from . import backends, core, gpu
+from .core import (
+    Atomic,
+    DeviceContext,
+    Dim3,
+    DType,
+    Kernel,
+    KernelModel,
+    LaunchConfig,
+    Layout,
+    LayoutTensor,
+    barrier,
+    block_dim,
+    block_idx,
+    ceildiv,
+    grid_dim,
+    kernel,
+    thread_idx,
+)
+from .backends import get_backend, list_backends, vendor_baseline_for
+from .gpu import GPUSpec, Roofline, get_gpu, list_gpus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "backends", "core", "gpu",
+    "Atomic", "DeviceContext", "Dim3", "DType", "Kernel", "KernelModel",
+    "LaunchConfig", "Layout", "LayoutTensor", "barrier", "block_dim",
+    "block_idx", "ceildiv", "grid_dim", "kernel", "thread_idx",
+    "get_backend", "list_backends", "vendor_baseline_for",
+    "GPUSpec", "Roofline", "get_gpu", "list_gpus",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Programming-model backends: portable Mojo and the CUDA/HIP vendor baselines."""
+
+from .base import Backend, BackendRun
+from .cuda import CUDABackend
+from .hip import HIPBackend
+from .mojo import MojoBackend
+from .registry import get_backend, list_backends, register_backend, vendor_baseline_for
+
+__all__ = [
+    "Backend", "BackendRun",
+    "MojoBackend", "CUDABackend", "HIPBackend",
+    "get_backend", "list_backends", "register_backend", "vendor_baseline_for",
+]

@@ -1,0 +1,125 @@
+"""Backend abstraction: how a programming model lowers and runs kernels.
+
+A *backend* is the pairing the paper compares: the portable Mojo programming
+model versus the vendor-specific CUDA and HIP baselines.  Backends share the
+functional executor (the numerics are identical by construction — that is the
+point of a port) and differ in how they *lower* kernels: register allocation,
+constant-memory promotion, fast-math availability, atomic lowering and
+block-size heuristics.  Those differences are expressed as a
+:class:`~repro.core.compiler.CompilerProfile` per (backend, GPU vendor) pair
+and documented field-by-field in the concrete backend modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.compiler import CompiledKernel, CompilerProfile, compile_kernel
+from ..core.errors import UnsupportedBackendError
+from ..core.kernel import KernelModel, LaunchConfig
+from ..gpu.specs import GPUSpec, get_gpu
+from ..gpu.timing import KernelTimingModel, TimingBreakdown
+
+__all__ = ["Backend", "BackendRun"]
+
+
+@dataclass
+class BackendRun:
+    """A compiled kernel together with its predicted timing on one GPU."""
+
+    backend_name: str
+    gpu: GPUSpec
+    compiled: CompiledKernel
+    timing: TimingBreakdown
+    launch: LaunchConfig
+    fast_math: bool = False
+
+    @property
+    def kernel_time_ms(self) -> float:
+        return self.timing.kernel_time_ms
+
+    @property
+    def achieved_bandwidth_gbs(self) -> float:
+        return self.timing.achieved_bandwidth_gbs
+
+    @property
+    def achieved_gflops(self) -> float:
+        return self.timing.achieved_gflops
+
+
+class Backend:
+    """Base class for programming-model backends."""
+
+    #: registry name, e.g. ``"mojo"``
+    name: str = "backend"
+    #: display name used in reports and figures
+    display_name: str = "Backend"
+    #: vendors this backend can target: ("nvidia",), ("amd",) or both
+    supported_vendors: Tuple[str, ...] = ("nvidia", "amd")
+    #: whether the toolchain offers fast-math at all
+    fast_math_available: bool = True
+    #: True for the portable programming model (same source on all vendors)
+    portable: bool = False
+
+    # ------------------------------------------------------------------ API
+    def supports(self, gpu) -> bool:
+        """True when this backend can target *gpu*."""
+        return get_gpu(gpu).vendor in self.supported_vendors
+
+    def require_support(self, gpu) -> GPUSpec:
+        spec = get_gpu(gpu)
+        if spec.vendor not in self.supported_vendors:
+            raise UnsupportedBackendError(
+                f"backend {self.name!r} does not support {spec.full_name} "
+                f"(vendor {spec.vendor!r}); supported vendors: "
+                f"{self.supported_vendors}"
+            )
+        return spec
+
+    def compiler_profile(self, gpu) -> CompilerProfile:
+        """Return the lowering profile for this backend on *gpu*."""
+        raise NotImplementedError
+
+    def compile(self, model: KernelModel, gpu, *, launch: Optional[LaunchConfig] = None,
+                fast_math: bool = False) -> CompiledKernel:
+        """Compile a kernel model for *gpu*."""
+        spec = self.require_support(gpu)
+        profile = self.compiler_profile(spec)
+        return compile_kernel(
+            model, profile, fast_math=fast_math, launch=launch,
+            backend_name=self.name,
+        )
+
+    def time(self, model: KernelModel, gpu, launch: LaunchConfig, *,
+             fast_math: bool = False) -> BackendRun:
+        """Compile *model* and predict its duration for *launch* on *gpu*."""
+        spec = self.require_support(gpu)
+        compiled = self.compile(model, spec, launch=launch, fast_math=fast_math)
+        timing = KernelTimingModel(spec).predict(compiled, launch)
+        return BackendRun(
+            backend_name=self.name,
+            gpu=spec,
+            compiled=compiled,
+            timing=timing,
+            launch=launch,
+            fast_math=compiled.fast_math,
+        )
+
+    # ------------------------------------------------------------ heuristics
+    def default_block_size(self, gpu, *, kernel_kind: str = "generic") -> int:
+        """Threads-per-block heuristic for 1-D kernels."""
+        return 1024
+
+    def dot_num_blocks(self, gpu, n: int, block_size: int) -> int:
+        """Grid-size heuristic for the BabelStream Dot reduction.
+
+        Vendor baselines size the grid from the multiprocessor count; the
+        portable backend uses a fixed element-derived grid.  Overridden by the
+        concrete backends.
+        """
+        spec = get_gpu(gpu)
+        return spec.sm_count * 4
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Backend {self.name}>"

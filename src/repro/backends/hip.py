@@ -1,0 +1,68 @@
+"""The HIP vendor-baseline backend model (AMD GPUs only).
+
+The HIP baselines are AMD's lab-notes seven-point stencil, the HIP
+BabelStream implementation, the HIP miniBUDE port and the HIP Hartree–Fock
+port.  As with CUDA this profile is the reference the portable backend is
+compared against on AMD hardware, so it keeps default lowering behaviour:
+
+* ``fast_math_available=True`` — ``-ffast-math`` gives the upper curve of
+  Figure 7.
+* ``atomic_mode="native"`` with unit throughput — Table 4 shows HIP handling
+  the Hartree–Fock atomics well on MI300A (178 ms at 256 atoms).
+* The stencil grid recommendation (512x1x1 blocks at L=512) carried over from
+  the MI250X lab notes also applies on MI300A, which the paper confirms.
+"""
+
+from __future__ import annotations
+
+from ..core.compiler import CompilerProfile
+from ..gpu.specs import get_gpu
+from .base import Backend
+
+__all__ = ["HIPBackend"]
+
+
+class HIPBackend(Backend):
+    """AMD vendor baseline."""
+
+    name = "hip"
+    display_name = "HIP"
+    supported_vendors = ("amd",)
+    fast_math_available = True
+    portable = False
+
+    _PROFILE = CompilerProfile(
+        name="hip",
+        fast_math_available=True,
+        constant_promotion=False,
+        constant_loads_per_scalar=2.0,
+        promoted_loads_per_scalar=1.0,
+        register_scale=1.05,
+        register_bias=3,
+        int_op_scale=1.05,
+        l1_reuse_efficiency=1.0,
+        stride1_efficiency=1.0,
+        shared_reduction_efficiency=1.0,
+        special_function_efficiency=1.0,
+        fast_math_special_efficiency=5.0,
+        atomic_mode="native",
+        atomic_throughput_scale=1.0,
+        spill_threshold_values=200,
+        spill_penalty=4.0,
+    )
+
+    def compiler_profile(self, gpu) -> CompilerProfile:
+        self.require_support(gpu)
+        return self._PROFILE
+
+    # ----------------------------------------------------------- heuristics
+    def default_block_size(self, gpu, *, kernel_kind: str = "generic") -> int:
+        if kernel_kind == "stencil":
+            return 512
+        return 1024
+
+    def dot_num_blocks(self, gpu, n: int, block_size: int) -> int:
+        # The HIP BabelStream baseline also derives the reduction grid from
+        # the compute-unit count.
+        spec = get_gpu(gpu)
+        return spec.sm_count * 4

@@ -1,0 +1,128 @@
+"""The portable Mojo backend model.
+
+Mojo compiles the *same* kernel source for NVIDIA and AMD GPUs through MLIR.
+The paper's measurements show where that portable lowering differs from the
+vendor toolchains; the per-vendor :class:`CompilerProfile` below encodes those
+observations.  Provenance of every non-default value:
+
+NVIDIA (H100) profile
+---------------------
+* ``register_scale=1.15`` / ``int_op_scale=1.30`` — Table 2 reports 24
+  registers/thread for Mojo vs 21 for CUDA on the FP64 stencil (and 26 vs 20
+  on the FP32 case), and Figure 5 shows extra ``IADD3`` instructions in the
+  Triad inner loop.
+* ``l1_reuse_efficiency=0.88`` — the stencil section measures Mojo at ~87% of
+  CUDA bandwidth on H100, attributed to register/L1-level reuse.
+* ``stride1_efficiency=1.01`` — BabelStream Copy/Mul/Add/Triad are *slightly
+  faster* than CUDA (Table 5 efficiencies of 1.01-1.02), attributed to fewer
+  constant loads (``constant_promotion=True``).
+* ``shared_reduction_efficiency=0.78`` — the portable Dot kernel reaches 78%
+  of the CUDA baseline (Table 5).
+* ``fast_math_available=False`` — the paper repeatedly notes Mojo lacks a
+  fast-math option; ``special_function_efficiency=1.4`` places Mojo between
+  CUDA with and without fast-math for miniBUDE (Figure 6).
+* ``atomic_throughput_scale=2.5`` — Hartree–Fock is ~2.5x faster than CUDA up
+  to 256 atoms (Table 4).
+* ``pathology_threshold_values`` / ``pathology_penalty`` — the a=1024,
+  ngauss=6 case collapses (147 s vs CUDA's 2.7 s, Table 4); modelled as a
+  codegen pathology triggered by the much larger working set of the ngauss=6
+  kernel.
+
+AMD (MI300A) profile
+--------------------
+* memory-bound efficiencies of 1.0 — "essentially on par with the AMD HIP
+  implementation" for stencil and BabelStream.
+* ``special_function_efficiency=0.25`` — Mojo underperforms both HIP variants
+  for miniBUDE on MI300A (Figure 7, and the 0.38 efficiencies of Table 5),
+  reflecting the missing fast-math lowering of the square-root-heavy inner
+  loop on the just-added AMD target.
+* ``atomic_mode="cas"`` with ``cas_expected_retries=140`` — Mojo largely
+  underperforms HIP for Hartree–Fock on MI300A (Table 4 shows ~140x), which
+  the paper attributes to an immature atomic path on the newly supported
+  MI300 target.
+"""
+
+from __future__ import annotations
+
+from ..core.compiler import CompilerProfile
+from ..gpu.specs import get_gpu
+from .base import Backend
+
+__all__ = ["MojoBackend"]
+
+
+class MojoBackend(Backend):
+    """Portable MLIR-based backend (the paper's subject)."""
+
+    name = "mojo"
+    display_name = "Mojo"
+    supported_vendors = ("nvidia", "amd")
+    fast_math_available = False
+    portable = True
+
+    #: Mojo added MI300-series support in June 2025; older AMD parts are not
+    #: targets.  Kept as data so tests can assert the constraint.
+    MIN_AMD_GPU = "mi300a"
+
+    _NVIDIA_PROFILE = CompilerProfile(
+        name="mojo-nvidia",
+        fast_math_available=False,
+        constant_promotion=True,
+        constant_loads_per_scalar=2.0,
+        promoted_loads_per_scalar=0.5,
+        register_scale=1.15,
+        register_bias=3,
+        int_op_scale=1.30,
+        l1_reuse_efficiency=0.88,
+        stride1_efficiency=1.01,
+        shared_reduction_efficiency=0.78,
+        special_function_efficiency=1.4,
+        fast_math_special_efficiency=1.4,
+        atomic_mode="native",
+        atomic_throughput_scale=2.5,
+        spill_threshold_values=168,
+        spill_penalty=4.0,
+        pathology_threshold_values=90,
+        pathology_penalty=100.0,
+    )
+
+    _AMD_PROFILE = CompilerProfile(
+        name="mojo-amd",
+        fast_math_available=False,
+        constant_promotion=True,
+        constant_loads_per_scalar=2.0,
+        promoted_loads_per_scalar=0.5,
+        register_scale=1.10,
+        register_bias=3,
+        int_op_scale=1.20,
+        l1_reuse_efficiency=1.0,
+        stride1_efficiency=1.0,
+        shared_reduction_efficiency=1.0,
+        special_function_efficiency=0.25,
+        fast_math_special_efficiency=0.25,
+        atomic_mode="cas",
+        cas_expected_retries=140.0,
+        atomic_throughput_scale=1.0,
+        spill_threshold_values=168,
+        spill_penalty=4.0,
+    )
+
+    def compiler_profile(self, gpu) -> CompilerProfile:
+        spec = get_gpu(gpu)
+        return self._NVIDIA_PROFILE if spec.is_nvidia else self._AMD_PROFILE
+
+    # ----------------------------------------------------------- heuristics
+    def default_block_size(self, gpu, *, kernel_kind: str = "generic") -> int:
+        # The paper's Mojo ports use a fixed 1024-thread block (TBSize) for
+        # the 1-D kernels and 512 or 1024 for the stencil.
+        if kernel_kind == "stencil":
+            return 512
+        return 1024
+
+    def dot_num_blocks(self, gpu, n: int, block_size: int) -> int:
+        # Portable "hybrid" heuristic: an element-derived grid (about eight
+        # elements per thread) capped at a portable constant, rather than a
+        # vendor multiprocessor query.  A generous block count keeps the tail
+        # wave negligible on both vendors' SM counts.
+        blocks = -(-n // (block_size * 8))
+        return max(1, min(blocks, 4096))

@@ -1,0 +1,52 @@
+"""Backend registry and vendor-baseline selection."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.errors import ConfigurationError
+from ..gpu.specs import get_gpu
+from .base import Backend
+from .cuda import CUDABackend
+from .hip import HIPBackend
+from .mojo import MojoBackend
+
+__all__ = ["get_backend", "list_backends", "register_backend", "vendor_baseline_for"]
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, *aliases: str) -> Backend:
+    """Register a backend instance under its name and optional aliases."""
+    _REGISTRY[backend.name.lower()] = backend
+    for alias in aliases:
+        _REGISTRY[alias.lower()] = backend
+    return backend
+
+
+register_backend(MojoBackend(), "mojo🔥")
+register_backend(CUDABackend(), "nvcc")
+register_backend(HIPBackend(), "rocm")
+
+
+def get_backend(name) -> Backend:
+    """Look up a backend by name; passes Backend instances through."""
+    if isinstance(name, Backend):
+        return name
+    try:
+        return _REGISTRY[str(name).lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; known backends: {sorted(set(_REGISTRY))}"
+        ) from None
+
+
+def list_backends() -> Tuple[str, ...]:
+    """Canonical names of registered backends."""
+    return tuple(sorted({b.name for b in _REGISTRY.values()}))
+
+
+def vendor_baseline_for(gpu) -> Backend:
+    """The vendor-specific baseline backend for a GPU (CUDA or HIP)."""
+    spec = get_gpu(gpu)
+    return get_backend("cuda" if spec.is_nvidia else "hip")

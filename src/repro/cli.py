@@ -1,0 +1,114 @@
+"""Command-line interface: ``python -m repro`` / ``repro-experiments``.
+
+Subcommands
+-----------
+``list``
+    List the available experiments (one per paper table/figure) and GPUs.
+``run <ids...>``
+    Run one or more experiments (or ``all``) and print their reports.
+``info``
+    Show the simulated hardware and backend registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .backends import get_backend, list_backends
+from .experiments import EXPERIMENTS, list_experiments, run_experiment
+from .gpu import get_gpu, list_gpus
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the Mojo GPU science-"
+                    "kernels paper on the simulated substrate.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run experiments and print their reports")
+    run_p.add_argument("ids", nargs="+",
+                       help="experiment ids (fig2..fig7, table2..table5) or 'all'")
+    run_p.add_argument("--full", action="store_true",
+                       help="run the full (non-quick) parameter sweeps")
+    run_p.add_argument("--verify", action="store_true",
+                       help="also run functional verification on the simulator")
+    run_p.add_argument("--markdown", action="store_true",
+                       help="emit markdown instead of plain text")
+
+    sub.add_parser("info", help="show simulated GPUs and backends")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for key in list_experiments():
+        print(f"  {key:8s} {EXPERIMENTS[key].DESCRIPTION}")
+    print("\ngpus:     " + ", ".join(list_gpus()))
+    print("backends: " + ", ".join(list_backends()))
+    return 0
+
+
+def _cmd_info() -> int:
+    print("Simulated GPUs (paper Table 1):")
+    for name in list_gpus():
+        spec = get_gpu(name)
+        print(f"  {name:8s} {spec.full_name}: {spec.mem_bw_gbs:.0f} GB/s, "
+              f"{spec.fp32_tflops} FP32 / {spec.fp64_tflops} FP64 TFLOP/s, "
+              f"{spec.sm_count} SMs")
+    print("\nBackends:")
+    for name in list_backends():
+        be = get_backend(name)
+        print(f"  {name:8s} {be.display_name}: vendors={be.supported_vendors}, "
+              f"fast-math={'yes' if be.fast_math_available else 'no'}, "
+              f"portable={'yes' if be.portable else 'no'}")
+    return 0
+
+
+def _cmd_run(ids: List[str], *, full: bool, verify: bool, markdown: bool) -> int:
+    wanted = list_experiments() if any(i.lower() == "all" for i in ids) else ids
+    status = 0
+    for experiment_id in wanted:
+        options = {"quick": not full}
+        module = EXPERIMENTS.get(experiment_id.lower())
+        if module is None:
+            print(f"unknown experiment {experiment_id!r}; available: "
+                  f"{', '.join(list_experiments())}", file=sys.stderr)
+            return 2
+        if verify and "verify" in module.run.__code__.co_varnames:
+            options["verify"] = True
+        result = run_experiment(experiment_id, **options)
+        print(result.to_markdown() if markdown else result.to_text())
+        print()
+        if not result.all_passed:
+            status = 1
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        return _cmd_list()
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "run":
+        return _cmd_run(args.ids, full=args.full, verify=args.verify,
+                        markdown=args.markdown)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Portable GPU kernel programming model (the paper's primary contribution).
+
+This package provides the Mojo-style device programming API used by every
+workload in the repository: typed device buffers and layout tensors, thread
+intrinsics, atomics, kernel/launch abstractions, and the multi-level
+compilation pipeline whose backend-specific lowering reproduces the paper's
+profiling observations.
+"""
+
+from .atomics import Atomic, atomic_add, atomic_max, atomic_min
+from .compiler import (
+    CompiledKernel,
+    CompilerProfile,
+    Opcode,
+    build_ir,
+    compile_kernel,
+    default_pass_pipeline,
+)
+from .device import DeviceBuffer, DeviceContext, StreamEvent
+from .dtypes import DType, dtype_from_any
+from .errors import (
+    CompilationError,
+    ConfigurationError,
+    DeviceError,
+    DTypeError,
+    LaunchError,
+    LayoutError,
+    OutOfMemoryError,
+    ReproError,
+    UnsupportedBackendError,
+    VerificationError,
+)
+from .intrinsics import (
+    AddressSpace,
+    Dim3,
+    barrier,
+    block_dim,
+    block_idx,
+    ceildiv,
+    global_idx,
+    grid_dim,
+    shared_array,
+    stack_allocation,
+    thread_idx,
+)
+from .kernel import Kernel, KernelModel, LaunchConfig, MemoryPattern, kernel
+from .layout import Layout, LayoutTensor
+
+__all__ = [
+    "Atomic", "atomic_add", "atomic_max", "atomic_min",
+    "CompiledKernel", "CompilerProfile", "Opcode", "build_ir", "compile_kernel",
+    "default_pass_pipeline",
+    "DeviceBuffer", "DeviceContext", "StreamEvent",
+    "DType", "dtype_from_any",
+    "ReproError", "ConfigurationError", "CompilationError", "LaunchError",
+    "DeviceError", "OutOfMemoryError", "UnsupportedBackendError", "LayoutError",
+    "DTypeError", "VerificationError",
+    "AddressSpace", "Dim3", "barrier", "block_dim", "block_idx", "ceildiv",
+    "global_idx", "grid_dim", "shared_array", "stack_allocation", "thread_idx",
+    "Kernel", "KernelModel", "LaunchConfig", "MemoryPattern", "kernel",
+    "Layout", "LayoutTensor",
+]

@@ -1,0 +1,135 @@
+"""Atomic read-modify-write operations on simulated device memory.
+
+The Hartree-Fock kernel (Listing 5 of the paper) updates the Fock matrix with
+``Atomic.fetch_add`` calls.  On the simulated device the same API is provided
+here.  In the sequential executor, threads run one at a time so plain
+read-modify-write is already atomic; in the cooperative (multi-threaded)
+executor a process-wide lock guarantees atomicity.  Every atomic is counted on
+the active thread's counter set so the profiler and the timing model can see
+atomic pressure.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Union
+
+import numpy as np
+
+from .errors import LaunchError
+from .intrinsics import current_thread_state
+from .layout import LayoutTensor
+
+__all__ = ["Atomic", "atomic_add", "atomic_max", "atomic_min", "AtomicView"]
+
+_ATOMIC_LOCK = threading.Lock()
+
+ArrayLike = Union[np.ndarray, LayoutTensor]
+
+
+def _resolve(target, index):
+    """Return (flat_array, flat_index) for an atomic target."""
+    if isinstance(target, LayoutTensor):
+        arr = target.ptr
+        if isinstance(index, tuple):
+            flat = target.layout.offset(*index)
+        else:
+            flat = int(index)
+        return arr, flat
+    arr = np.asarray(target)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    if isinstance(index, tuple):
+        raise LaunchError("tuple indices require a LayoutTensor target")
+    return arr, int(index)
+
+
+def _record_atomic() -> None:
+    try:
+        state = current_thread_state()
+    except LaunchError:
+        return
+    if state.counters is not None:
+        state.counters.record_atomic()
+
+
+def _rmw(target, index, value, op):
+    arr, flat = _resolve(target, index)
+    if flat < 0 or flat >= arr.size:
+        raise LaunchError(f"atomic index {flat} out of bounds for size {arr.size}")
+    _record_atomic()
+    with _ATOMIC_LOCK:
+        old = arr[flat]
+        arr[flat] = op(old, value)
+    return old
+
+
+class AtomicView:
+    """A pointer-like handle supporting ``offset`` then atomic ops.
+
+    Mirrors the paper's ``fock.ptr.offset(i * natoms + j)`` idiom:
+
+    >>> Atomic.fetch_add(fock.ptr_offset(i * natoms + j), value)
+    """
+
+    __slots__ = ("array", "index")
+
+    def __init__(self, array: np.ndarray, index: int):
+        self.array = array
+        self.index = int(index)
+
+
+class Atomic:
+    """Namespace of atomic operations, matching Mojo's ``Atomic`` struct."""
+
+    @staticmethod
+    def fetch_add(target, index_or_value, value=None):
+        """Atomically add and return the previous value.
+
+        Two call forms are supported::
+
+            Atomic.fetch_add(tensor, (i, j), v)   # indexed target
+            Atomic.fetch_add(view, v)             # AtomicView from ptr_offset()
+        """
+        if isinstance(target, AtomicView) and value is None:
+            return _rmw(target.array, target.index, index_or_value,
+                        lambda old, v: old + v)
+        if value is None:
+            raise LaunchError("Atomic.fetch_add(target, index, value) requires a value")
+        return _rmw(target, index_or_value, value, lambda old, v: old + v)
+
+    @staticmethod
+    def fetch_max(target, index, value):
+        """Atomically take the maximum and return the previous value."""
+        return _rmw(target, index, value, lambda old, v: max(old, v))
+
+    @staticmethod
+    def fetch_min(target, index, value):
+        """Atomically take the minimum and return the previous value."""
+        return _rmw(target, index, value, lambda old, v: min(old, v))
+
+    @staticmethod
+    def compare_exchange(target, index, expected, desired) -> bool:
+        """Atomic compare-and-swap; returns True when the swap happened."""
+        arr, flat = _resolve(target, index)
+        _record_atomic()
+        with _ATOMIC_LOCK:
+            if arr[flat] == expected:
+                arr[flat] = desired
+                return True
+            return False
+
+
+def atomic_add(target, index, value):
+    """Functional alias for :meth:`Atomic.fetch_add`."""
+    return Atomic.fetch_add(target, index, value)
+
+
+def atomic_max(target, index, value):
+    """Functional alias for :meth:`Atomic.fetch_max`."""
+    return Atomic.fetch_max(target, index, value)
+
+
+def atomic_min(target, index, value):
+    """Functional alias for :meth:`Atomic.fetch_min`."""
+    return Atomic.fetch_min(target, index, value)

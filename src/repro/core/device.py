@@ -1,0 +1,252 @@
+"""``DeviceContext`` and ``DeviceBuffer``: the Mojo-style device runtime API.
+
+This is the user-facing entry point that the paper's Listing 1 demonstrates:
+
+.. code-block:: python
+
+    ctx = DeviceContext("h100")
+    d_u = ctx.enqueue_create_buffer(DType.float32, nx)
+    u = LayoutTensor(DType.float32, Layout.row_major(nx), d_u)
+    ctx.enqueue_function(fill_one, u, grid_dim=num_blocks, block_dim=block_size)
+    ctx.synchronize()
+
+Operations are *enqueued* on a stream and executed lazily at
+:meth:`DeviceContext.synchronize` (or eagerly with ``eager=True``, the default
+for convenience in tests and examples).  The context tracks device memory
+against the GPU's capacity, executes kernels functionally on the simulated
+device, and accumulates a modelled timeline when a kernel provides a
+:class:`~repro.core.kernel.KernelModel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..gpu.executor import ExecutionResult, KernelExecutor
+from ..gpu.memory import Allocation, AllocationTracker, MemorySpace, TransferModel
+from ..gpu.specs import GPUSpec, get_gpu
+from .dtypes import DType, dtype_from_any
+from .errors import DeviceError, LaunchError
+from .intrinsics import Dim3
+from .kernel import Kernel, KernelModel, LaunchConfig
+from .layout import Layout, LayoutTensor
+
+__all__ = ["DeviceBuffer", "DeviceContext", "StreamEvent"]
+
+
+class DeviceBuffer:
+    """A typed, flat allocation in simulated device memory."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, ctx: "DeviceContext", dtype, count: int, *, label: str = ""):
+        self.ctx = ctx
+        self.dtype: DType = dtype_from_any(dtype)
+        self.count = int(count)
+        self.label = label or f"buffer{next(self._ids)}"
+        self._allocation: Allocation = ctx._tracker.allocate(
+            self.count, self.dtype, label=self.label
+        )
+        self.array = np.zeros(self.count, dtype=self.dtype.to_numpy())
+        self._freed = False
+
+    # ------------------------------------------------------------ properties
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.dtype.sizeof
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    # -------------------------------------------------------------- transfers
+    def copy_from_host(self, host_array) -> "DeviceBuffer":
+        """Copy host data into the buffer (modelled H2D transfer)."""
+        self._check_live()
+        src = np.asarray(host_array, dtype=self.dtype.to_numpy()).reshape(-1)
+        if src.size != self.count:
+            raise DeviceError(
+                f"host array has {src.size} elements, buffer holds {self.count}"
+            )
+        self.array[...] = src
+        self.ctx._record_transfer("h2d", self.nbytes)
+        return self
+
+    def copy_to_host(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Copy the buffer back to the host (modelled D2H transfer)."""
+        self._check_live()
+        self.ctx._record_transfer("d2h", self.nbytes)
+        if out is None:
+            return self.array.copy()
+        flat = np.asarray(out).reshape(-1)
+        if flat.size != self.count:
+            raise DeviceError("output array size mismatch")
+        flat[...] = self.array
+        return out
+
+    def fill(self, value) -> "DeviceBuffer":
+        """Fill the buffer with a scalar value."""
+        self._check_live()
+        self.array[...] = value
+        return self
+
+    # ------------------------------------------------------------------ views
+    def tensor(self, layout: Optional[Layout] = None, *, mut: bool = True,
+               bounds_check: bool = True) -> LayoutTensor:
+        """Create a :class:`LayoutTensor` view over this buffer."""
+        self._check_live()
+        layout = layout or Layout.row_major(self.count)
+        return LayoutTensor(self.dtype, layout, self, mut=mut,
+                            bounds_check=bounds_check, name=self.label)
+
+    # ----------------------------------------------------------------- free
+    def free(self) -> None:
+        """Release the allocation (idempotent frees raise DeviceError)."""
+        self._check_live()
+        self.ctx._tracker.free(self._allocation)
+        self._freed = True
+
+    def _check_live(self) -> None:
+        if self._freed:
+            raise DeviceError(f"use of freed buffer {self.label!r}")
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeviceBuffer({self.label}, {self.dtype.name}[{self.count}])"
+
+
+@dataclass
+class StreamEvent:
+    """One entry in the context's executed-operation timeline."""
+
+    kind: str                      # "kernel" | "h2d" | "d2h"
+    name: str
+    modelled_time_ms: float = 0.0
+    execution: Optional[ExecutionResult] = None
+    details: dict = field(default_factory=dict)
+
+
+class DeviceContext:
+    """A simulated GPU device queue, mirroring Mojo's ``DeviceContext``.
+
+    Parameters
+    ----------
+    gpu:
+        GPU name (``"h100"``, ``"mi300a"`` ...) or a :class:`GPUSpec`.
+    eager:
+        When True (default) enqueued work executes immediately;
+        when False it runs at :meth:`synchronize`, matching a real stream.
+    executor:
+        Optional custom :class:`KernelExecutor` (tests inject small limits).
+    """
+
+    def __init__(self, gpu="h100", *, eager: bool = True,
+                 executor: Optional[KernelExecutor] = None):
+        self.spec: GPUSpec = get_gpu(gpu)
+        self.eager = bool(eager)
+        self._tracker = AllocationTracker(self.spec)
+        self._transfer_model = TransferModel(self.spec)
+        self._executor = executor or KernelExecutor()
+        self._pending: List[Callable[[], StreamEvent]] = []
+        self.timeline: List[StreamEvent] = []
+
+    # ------------------------------------------------------------ allocation
+    def enqueue_create_buffer(self, dtype, count: int, *, label: str = "") -> DeviceBuffer:
+        """Allocate a device buffer of *count* elements of *dtype*."""
+        return DeviceBuffer(self, dtype, count, label=label)
+
+    def create_tensor(self, dtype, layout: Layout, *, mut: bool = True,
+                      label: str = "") -> LayoutTensor:
+        """Allocate a buffer and wrap it in a :class:`LayoutTensor`."""
+        buf = self.enqueue_create_buffer(dtype, layout.size, label=label)
+        return buf.tensor(layout, mut=mut)
+
+    # ---------------------------------------------------------------- launch
+    def enqueue_function(
+        self,
+        kern,
+        *args,
+        grid_dim,
+        block_dim,
+        mode: str = "auto",
+        model: Optional[KernelModel] = None,
+        timing=None,
+    ) -> None:
+        """Enqueue a kernel launch.
+
+        ``model``/``timing`` are optional: when a :class:`KernelModel` (or a
+        precomputed timing breakdown) is supplied, the modelled kernel time is
+        recorded on the timeline, which examples use to report bandwidths.
+        """
+        if not isinstance(kern, Kernel):
+            kern = Kernel(kern)
+        launch = LaunchConfig.make(grid_dim, block_dim)
+
+        def run() -> StreamEvent:
+            execution = self._executor.launch(kern, args, launch, mode=mode)
+            modelled = 0.0
+            details = {}
+            if timing is not None:
+                modelled = float(getattr(timing, "kernel_time_ms", timing))
+                details["timing"] = timing
+            elif model is not None:
+                modelled = self._predict_time(model, launch)
+                details["model"] = model
+            event = StreamEvent("kernel", kern.name, modelled, execution, details)
+            self.timeline.append(event)
+            return event
+
+        if self.eager:
+            run()
+        else:
+            self._pending.append(run)
+
+    def synchronize(self) -> List[StreamEvent]:
+        """Execute all pending work and return the full timeline."""
+        pending, self._pending = self._pending, []
+        for op in pending:
+            op()
+        return self.timeline
+
+    # -------------------------------------------------------------- accounting
+    def _record_transfer(self, kind: str, nbytes: int) -> None:
+        t_ms = self._transfer_model.transfer_time_s(nbytes) * 1e3
+        self.timeline.append(StreamEvent(kind, f"{kind}:{nbytes}B", t_ms,
+                                         details={"nbytes": nbytes}))
+
+    def _predict_time(self, model: KernelModel, launch: LaunchConfig) -> float:
+        # Local import: timing needs a compiled kernel, which needs a backend
+        # profile; use the generic profile for context-level estimates.
+        from .compiler import CompilerProfile, compile_kernel
+        from ..gpu.timing import KernelTimingModel
+
+        compiled = compile_kernel(model, CompilerProfile(name="generic"),
+                                  launch=launch, backend_name="generic")
+        return KernelTimingModel(self.spec).predict(compiled, launch).kernel_time_ms
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def memory_summary(self) -> dict:
+        """Allocation accounting for the context."""
+        return self._tracker.summary()
+
+    @property
+    def kernel_time_ms(self) -> float:
+        """Sum of modelled kernel times on the timeline."""
+        return sum(e.modelled_time_ms for e in self.timeline if e.kind == "kernel")
+
+    @property
+    def kernels_launched(self) -> int:
+        return sum(1 for e in self.timeline if e.kind == "kernel")
+
+    def reset_timeline(self) -> None:
+        self.timeline.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DeviceContext({self.spec.name}, eager={self.eager})"

@@ -1,0 +1,180 @@
+"""Data type registry mirroring Mojo's ``DType`` for the simulated device.
+
+The paper's kernels are written against a small set of numeric types
+(``DType.float32``, ``DType.float64``, a few integer types).  This module
+provides the equivalent registry plus conversion helpers to and from NumPy
+dtypes, so that device buffers, layout tensors and the timing model can all
+agree on element sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from .errors import DTypeError
+
+__all__ = ["DType", "dtype_from_any", "PRECISION_NAMES"]
+
+
+@dataclass(frozen=True)
+class DType:
+    """A device element type.
+
+    Attributes
+    ----------
+    name:
+        Canonical lowercase name, e.g. ``"float32"``.
+    sizeof:
+        Size of one element in bytes.
+    kind:
+        One of ``"float"``, ``"int"``, ``"uint"``, ``"bool"``.
+    """
+
+    name: str
+    sizeof: int
+    kind: str
+
+    # -- class-level registry -------------------------------------------------
+    _registry: dict = None  # populated after class definition
+
+    def to_numpy(self) -> np.dtype:
+        """Return the equivalent NumPy dtype."""
+        return np.dtype(_NUMPY_NAMES[self.name])
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "float"
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in ("int", "uint")
+
+    @property
+    def bits(self) -> int:
+        return self.sizeof * 8
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+    # -- named accessors (populated below) ------------------------------------
+    float16: "DType" = None
+    float32: "DType" = None
+    float64: "DType" = None
+    int8: "DType" = None
+    int16: "DType" = None
+    int32: "DType" = None
+    int64: "DType" = None
+    uint8: "DType" = None
+    uint32: "DType" = None
+    uint64: "DType" = None
+    bool_: "DType" = None
+
+    @classmethod
+    def from_name(cls, name: str) -> "DType":
+        """Look a dtype up by name (``"float32"``, ``"fp64"``, ``"f32"`` ...)."""
+        key = _ALIASES.get(name.lower(), name.lower())
+        try:
+            return _REGISTRY[key]
+        except KeyError:
+            raise DTypeError(f"unknown dtype name: {name!r}") from None
+
+    @classmethod
+    def from_numpy(cls, np_dtype) -> "DType":
+        """Map a NumPy dtype (or anything ``np.dtype`` accepts) to a DType."""
+        nd = np.dtype(np_dtype)
+        for name, npname in _NUMPY_NAMES.items():
+            if np.dtype(npname) == nd:
+                return _REGISTRY[name]
+        raise DTypeError(f"no DType equivalent for numpy dtype {nd!r}")
+
+    @classmethod
+    def all(cls) -> tuple:
+        """Return every registered dtype."""
+        return tuple(_REGISTRY.values())
+
+
+_NUMPY_NAMES = {
+    "float16": "float16",
+    "float32": "float32",
+    "float64": "float64",
+    "int8": "int8",
+    "int16": "int16",
+    "int32": "int32",
+    "int64": "int64",
+    "uint8": "uint8",
+    "uint32": "uint32",
+    "uint64": "uint64",
+    "bool": "bool",
+}
+
+_REGISTRY = {
+    "float16": DType("float16", 2, "float"),
+    "float32": DType("float32", 4, "float"),
+    "float64": DType("float64", 8, "float"),
+    "int8": DType("int8", 1, "int"),
+    "int16": DType("int16", 2, "int"),
+    "int32": DType("int32", 4, "int"),
+    "int64": DType("int64", 8, "int"),
+    "uint8": DType("uint8", 1, "uint"),
+    "uint32": DType("uint32", 4, "uint"),
+    "uint64": DType("uint64", 8, "uint"),
+    "bool": DType("bool", 1, "bool"),
+}
+
+_ALIASES = {
+    "fp16": "float16",
+    "fp32": "float32",
+    "fp64": "float64",
+    "f16": "float16",
+    "f32": "float32",
+    "f64": "float64",
+    "half": "float16",
+    "float": "float32",
+    "single": "float32",
+    "double": "float64",
+    "i32": "int32",
+    "i64": "int64",
+    "u32": "uint32",
+    "u64": "uint64",
+    "bool_": "bool",
+}
+
+# Attach the named accessors used throughout the code base
+DType.float16 = _REGISTRY["float16"]
+DType.float32 = _REGISTRY["float32"]
+DType.float64 = _REGISTRY["float64"]
+DType.int8 = _REGISTRY["int8"]
+DType.int16 = _REGISTRY["int16"]
+DType.int32 = _REGISTRY["int32"]
+DType.int64 = _REGISTRY["int64"]
+DType.uint8 = _REGISTRY["uint8"]
+DType.uint32 = _REGISTRY["uint32"]
+DType.uint64 = _REGISTRY["uint64"]
+DType.bool_ = _REGISTRY["bool"]
+
+#: Names accepted by the CLI / harness for the two precisions in the paper.
+PRECISION_NAMES = ("float32", "float64")
+
+DTypeLike = Union[DType, str, np.dtype, type]
+
+
+def dtype_from_any(value: DTypeLike) -> DType:
+    """Coerce *value* into a :class:`DType`.
+
+    Accepts a DType, a name string (with aliases like ``"fp64"``), a NumPy
+    dtype object, or a Python/NumPy scalar type.
+    """
+    if isinstance(value, DType):
+        return value
+    if isinstance(value, str):
+        return DType.from_name(value)
+    try:
+        return DType.from_numpy(value)
+    except Exception as exc:  # noqa: BLE001 - re-raise as DTypeError
+        raise DTypeError(f"cannot interpret {value!r} as a DType") from exc

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the portable kernel framework.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch framework-level failures with a single ``except`` clause
+while still being able to distinguish configuration problems from runtime
+(device) problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CompilationError",
+    "LaunchError",
+    "DeviceError",
+    "OutOfMemoryError",
+    "UnsupportedBackendError",
+    "LayoutError",
+    "DTypeError",
+    "VerificationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro framework."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user-facing configuration value is invalid."""
+
+
+class CompilationError(ReproError):
+    """Raised when the kernel compilation pipeline fails."""
+
+
+class LaunchError(ReproError):
+    """Raised when a kernel launch is malformed (bad grid/block, bad args)."""
+
+
+class DeviceError(ReproError):
+    """Raised for errors originating from the simulated device."""
+
+
+class OutOfMemoryError(DeviceError):
+    """Raised when a device allocation exceeds the simulated GPU memory."""
+
+
+class UnsupportedBackendError(ConfigurationError):
+    """Raised when a backend does not support the requested GPU or feature."""
+
+
+class LayoutError(ReproError):
+    """Raised for invalid layouts or out-of-bounds tensor accesses."""
+
+
+class DTypeError(ReproError):
+    """Raised for unknown or incompatible data types."""
+
+
+class VerificationError(ReproError):
+    """Raised when a kernel result fails verification against its reference."""

@@ -1,0 +1,296 @@
+"""GPU thread intrinsics: ``thread_idx``, ``block_idx``, ``barrier`` ...
+
+The paper's kernels (Listings 2-5) read built-in index registers such as
+``thread_idx.x`` and synchronise with ``barrier()``.  Inside this simulator a
+kernel body is an ordinary Python function; while the executor runs it, the
+"current thread" state is stored in a thread-local so that module-level proxy
+objects (``thread_idx``, ``block_idx``, ``block_dim``, ``grid_dim``) resolve to
+the right values both in the sequential executor and in the cooperative
+(threaded) executor used for kernels with barriers.
+
+Example
+-------
+>>> from repro.core import thread_idx, block_idx, block_dim
+>>> def copy_kernel(a, c, n):
+...     i = block_dim.x * block_idx.x + thread_idx.x
+...     if i < n:
+...         c[i] = a[i]
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .dtypes import dtype_from_any
+from .errors import LaunchError
+
+__all__ = [
+    "Dim3",
+    "ThreadState",
+    "thread_idx",
+    "block_idx",
+    "block_dim",
+    "grid_dim",
+    "global_idx",
+    "barrier",
+    "stack_allocation",
+    "shared_array",
+    "AddressSpace",
+    "current_thread_state",
+    "bind_thread_state",
+    "ceildiv",
+]
+
+
+def ceildiv(a: int, b: int) -> int:
+    """Ceiling integer division, as used to size grids from problem sizes."""
+    if b <= 0:
+        raise LaunchError(f"ceildiv divisor must be positive, got {b}")
+    return -(-int(a) // int(b))
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A 3-component index/extent, matching CUDA/HIP/Mojo ``dim3``."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    @classmethod
+    def make(cls, value) -> "Dim3":
+        """Coerce an int, tuple or Dim3 into a Dim3."""
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, (int, np.integer)):
+            return cls(int(value), 1, 1)
+        if isinstance(value, (tuple, list)):
+            vals = tuple(int(v) for v in value)
+            if not 1 <= len(vals) <= 3:
+                raise LaunchError(f"dim3 needs 1-3 components, got {vals}")
+            return cls(*(vals + (1,) * (3 - len(vals))))
+        raise LaunchError(f"cannot interpret {value!r} as a Dim3")
+
+    @property
+    def total(self) -> int:
+        return self.x * self.y * self.z
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.x, self.y, self.z)
+
+    def __iter__(self):
+        return iter((self.x, self.y, self.z))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x}, {self.y}, {self.z})"
+
+
+class AddressSpace:
+    """Marker constants for memory spaces, mirroring Mojo's ``AddressSpace``."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    LOCAL = "local"
+    CONSTANT = "constant"
+
+
+class ThreadState:
+    """Per-thread execution state visible through the intrinsic proxies.
+
+    The executor creates one of these per simulated thread (sequential mode)
+    or per worker thread (cooperative mode) and binds it with
+    :func:`bind_thread_state`.
+    """
+
+    __slots__ = (
+        "thread_idx",
+        "block_idx",
+        "block_dim",
+        "grid_dim",
+        "block_shared",
+        "block_barrier",
+        "counters",
+        "_shared_seq",
+    )
+
+    def __init__(
+        self,
+        thread_idx: Dim3,
+        block_idx: Dim3,
+        block_dim: Dim3,
+        grid_dim: Dim3,
+        block_shared: Optional[Dict] = None,
+        block_barrier=None,
+        counters=None,
+    ):
+        self.thread_idx = thread_idx
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        # Shared memory segments are per *block*; all threads in the block see
+        # the same dict instance.
+        self.block_shared = block_shared if block_shared is not None else {}
+        self.block_barrier = block_barrier
+        self.counters = counters
+        self._shared_seq = 0
+
+    # ------------------------------------------------------------------ ids
+    @property
+    def linear_thread_id(self) -> int:
+        t, b = self.thread_idx, self.block_dim
+        return t.x + t.y * b.x + t.z * b.x * b.y
+
+    @property
+    def linear_block_id(self) -> int:
+        c, g = self.block_idx, self.grid_dim
+        return c.x + c.y * g.x + c.z * g.x * g.y
+
+    @property
+    def global_linear_id(self) -> int:
+        return self.linear_block_id * self.block_dim.total + self.linear_thread_id
+
+    # --------------------------------------------------------------- shared
+    def shared_alloc(self, key: str, size: int, dtype) -> np.ndarray:
+        """Return (allocating on first use) a block-shared array.
+
+        All threads of a block calling with the same *key* receive the same
+        array object, which is how CUDA ``__shared__`` / Mojo
+        ``stack_allocation[..., AddressSpace.SHARED]`` behave.
+        """
+        if key not in self.block_shared:
+            np_dtype = dtype_from_any(dtype).to_numpy()
+            self.block_shared[key] = np.zeros(int(size), dtype=np_dtype)
+        return self.block_shared[key]
+
+    def barrier(self) -> None:
+        """Block-level synchronisation."""
+        if self.counters is not None:
+            self.counters.record_barrier()
+        if self.block_barrier is not None:
+            self.block_barrier.wait()
+        # In sequential mode (single simulated thread at a time within a
+        # block-phase executor) the barrier is a no-op; the executor is
+        # responsible for choosing cooperative mode for barrier kernels.
+
+
+_tls = threading.local()
+
+
+def bind_thread_state(state: Optional[ThreadState]):
+    """Bind *state* as the active thread state for the calling OS thread.
+
+    Returns a context manager so executors can use ``with bind_thread_state(s):``.
+    """
+
+    class _Binder:
+        def __enter__(self):
+            self.prev = getattr(_tls, "state", None)
+            _tls.state = state
+            return state
+
+        def __exit__(self, *exc):
+            _tls.state = self.prev
+            return False
+
+    return _Binder()
+
+
+def current_thread_state() -> ThreadState:
+    """Return the active :class:`ThreadState` (raises outside a kernel)."""
+    state = getattr(_tls, "state", None)
+    if state is None:
+        raise LaunchError(
+            "GPU intrinsics can only be used inside a kernel launched through "
+            "DeviceContext.enqueue_function / the executor"
+        )
+    return state
+
+
+class _IndexProxy:
+    """Module-level proxy exposing ``.x/.y/.z`` of the active thread state."""
+
+    __slots__ = ("_attr",)
+
+    def __init__(self, attr: str):
+        self._attr = attr
+
+    def _dim(self) -> Dim3:
+        return getattr(current_thread_state(), self._attr)
+
+    @property
+    def x(self) -> int:
+        return self._dim().x
+
+    @property
+    def y(self) -> int:
+        return self._dim().y
+
+    @property
+    def z(self) -> int:
+        return self._dim().z
+
+    @property
+    def total(self) -> int:
+        return self._dim().total
+
+    def as_tuple(self):
+        return self._dim().as_tuple()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        try:
+            return f"<{self._attr} {self._dim()}>"
+        except LaunchError:
+            return f"<{self._attr} (unbound)>"
+
+
+#: Index of the calling thread within its block.
+thread_idx = _IndexProxy("thread_idx")
+#: Index of the calling thread's block within the grid.
+block_idx = _IndexProxy("block_idx")
+#: Extent of a block (threads per block).
+block_dim = _IndexProxy("block_dim")
+#: Extent of the grid (blocks per grid).
+grid_dim = _IndexProxy("grid_dim")
+
+
+def global_idx() -> Dim3:
+    """Global 3-D thread index (``block_idx * block_dim + thread_idx``)."""
+    s = current_thread_state()
+    return Dim3(
+        s.block_idx.x * s.block_dim.x + s.thread_idx.x,
+        s.block_idx.y * s.block_dim.y + s.thread_idx.y,
+        s.block_idx.z * s.block_dim.z + s.thread_idx.z,
+    )
+
+
+def barrier() -> None:
+    """Synchronise all threads of the calling block."""
+    current_thread_state().barrier()
+
+
+def stack_allocation(size: int, dtype, *, address_space: str = AddressSpace.SHARED,
+                     key: Optional[str] = None) -> np.ndarray:
+    """Allocate a block-shared or thread-local scratch array.
+
+    Mirrors Mojo's ``stack_allocation[size, Scalar[dtype], address_space=...]``.
+    With ``AddressSpace.SHARED`` the allocation is shared by the block (all
+    threads receive the same array); otherwise it is private to the thread.
+    """
+    state = current_thread_state()
+    if address_space == AddressSpace.SHARED:
+        if key is None:
+            # Allocation identity follows call order within the kernel, which
+            # is identical across threads of a block for structured kernels.
+            key = f"__shared_{state._shared_seq}"
+        state._shared_seq += 1
+        return state.shared_alloc(key, size, dtype)
+    return np.zeros(int(size), dtype=dtype_from_any(dtype).to_numpy())
+
+
+def shared_array(size: int, dtype, key: Optional[str] = None) -> np.ndarray:
+    """Convenience wrapper for a block-shared allocation."""
+    return stack_allocation(size, dtype, address_space=AddressSpace.SHARED, key=key)

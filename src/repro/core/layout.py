@@ -1,0 +1,275 @@
+"""Compile-time layouts and ``LayoutTensor`` views over device buffers.
+
+Mojo's GPU standard library exposes a ``Layout`` describing the logical
+shape/strides of an N-D tensor and a ``LayoutTensor`` which binds a layout to
+a device buffer.  Kernels in the paper (Listings 2 and 5) index these tensors
+with multi-dimensional subscripts (``u[i, j, k]``).  This module provides the
+same abstraction for the simulated device: a :class:`Layout` is a pure
+shape/stride description, and a :class:`LayoutTensor` is a zero-copy view over
+a NumPy array or :class:`~repro.core.device.DeviceBuffer`.
+
+Bounds checking is on by default (this is a correctness-first simulator) and
+can be disabled per tensor for speed in large benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from .dtypes import DType, dtype_from_any
+from .errors import LayoutError
+
+__all__ = ["Layout", "LayoutTensor"]
+
+
+def _as_shape(dims: Sequence[int]) -> Tuple[int, ...]:
+    shape = tuple(int(d) for d in dims)
+    if len(shape) == 0:
+        raise LayoutError("a layout needs at least one dimension")
+    if any(d <= 0 for d in shape):
+        raise LayoutError(f"layout dimensions must be positive, got {shape}")
+    return shape
+
+
+def _row_major_strides(shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    strides = [1] * len(shape)
+    for i in range(len(shape) - 2, -1, -1):
+        strides[i] = strides[i + 1] * shape[i + 1]
+    return tuple(strides)
+
+
+def _col_major_strides(shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    strides = [1] * len(shape)
+    for i in range(1, len(shape)):
+        strides[i] = strides[i - 1] * shape[i - 1]
+    return tuple(strides)
+
+
+@dataclass(frozen=True)
+class Layout:
+    """An N-dimensional element layout (shape + element strides).
+
+    Strides are expressed in *elements*, not bytes, matching the Mojo API.
+    """
+
+    shape: Tuple[int, ...]
+    strides: Tuple[int, ...]
+    order: str = "row_major"
+
+    # ------------------------------------------------------------------ ctors
+    @classmethod
+    def row_major(cls, *dims: int) -> "Layout":
+        """C-ordered layout: the last dimension is contiguous."""
+        shape = _as_shape(_flatten_dims(dims))
+        return cls(shape, _row_major_strides(shape), "row_major")
+
+    @classmethod
+    def col_major(cls, *dims: int) -> "Layout":
+        """Fortran-ordered layout: the first dimension is contiguous."""
+        shape = _as_shape(_flatten_dims(dims))
+        return cls(shape, _col_major_strides(shape), "col_major")
+
+    # -------------------------------------------------------------- properties
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the layout covers its elements without gaps."""
+        expected = (
+            _row_major_strides(self.shape)
+            if self.order == "row_major"
+            else _col_major_strides(self.shape)
+        )
+        return self.strides == expected
+
+    # ------------------------------------------------------------------ logic
+    def offset(self, *index: int) -> int:
+        """Flat element offset of a multi-dimensional index.
+
+        Raises :class:`LayoutError` when the index rank does not match or the
+        index is out of bounds.
+        """
+        idx = _flatten_dims(index)
+        if len(idx) != self.rank:
+            raise LayoutError(
+                f"index rank {len(idx)} does not match layout rank {self.rank}"
+            )
+        off = 0
+        for i, (x, d, s) in enumerate(zip(idx, self.shape, self.strides)):
+            x = int(x)
+            if x < 0 or x >= d:
+                raise LayoutError(
+                    f"index {x} out of bounds for dimension {i} of extent {d}"
+                )
+            off += x * s
+        return off
+
+    def nbytes(self, dtype) -> int:
+        """Total size in bytes for elements of *dtype*."""
+        return self.size * dtype_from_any(dtype).sizeof
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(d) for d in self.shape)
+        return f"Layout.{self.order}({dims})"
+
+
+def _flatten_dims(dims) -> Tuple[int, ...]:
+    """Allow ``row_major(2, 3)`` and ``row_major((2, 3))`` interchangeably."""
+    if len(dims) == 1 and isinstance(dims[0], (tuple, list)):
+        return tuple(dims[0])
+    return tuple(dims)
+
+
+class LayoutTensor:
+    """A typed, layout-aware view over device (or host) memory.
+
+    Parameters
+    ----------
+    dtype:
+        Element type (anything accepted by :func:`dtype_from_any`).
+    layout:
+        The :class:`Layout` describing shape and strides.
+    storage:
+        A NumPy array or a :class:`repro.core.device.DeviceBuffer`; must hold
+        at least ``layout.size`` elements.  The tensor never copies.
+    mut:
+        Whether writes are allowed; mirrors Mojo's ``mut`` parameter.
+    bounds_check:
+        Verify every access against the layout (default True).
+    """
+
+    __slots__ = ("dtype", "layout", "_data", "mut", "bounds_check", "name")
+
+    def __init__(self, dtype, layout: Layout, storage, *, mut: bool = True,
+                 bounds_check: bool = True, name: str = ""):
+        self.dtype: DType = dtype_from_any(dtype)
+        self.layout = layout
+        self.mut = bool(mut)
+        self.bounds_check = bool(bounds_check)
+        self.name = name
+        data = _storage_array(storage)
+        if data.size < layout.size:
+            raise LayoutError(
+                f"storage holds {data.size} elements but layout requires "
+                f"{layout.size}"
+            )
+        if DType.from_numpy(data.dtype) != self.dtype:
+            raise LayoutError(
+                f"storage dtype {data.dtype} does not match tensor dtype "
+                f"{self.dtype.name}"
+            )
+        self._data = data
+
+    # ------------------------------------------------------------- properties
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.layout.shape
+
+    @property
+    def rank(self) -> int:
+        return self.layout.rank
+
+    @property
+    def size(self) -> int:
+        return self.layout.size
+
+    @property
+    def nbytes(self) -> int:
+        return self.layout.nbytes(self.dtype)
+
+    @property
+    def ptr(self) -> np.ndarray:
+        """The flat backing array (the 'device pointer')."""
+        return self._data
+
+    # ------------------------------------------------------------------ access
+    def _resolve(self, index) -> int:
+        if not isinstance(index, tuple):
+            index = (index,)
+        if self.bounds_check:
+            return self.layout.offset(*index)
+        off = 0
+        for x, s in zip(index, self.layout.strides):
+            off += int(x) * s
+        return off
+
+    def __getitem__(self, index):
+        return self._data[self._resolve(index)]
+
+    def __setitem__(self, index, value):
+        if not self.mut:
+            raise LayoutError(f"tensor {self.name or '<anonymous>'} is immutable")
+        self._data[self._resolve(index)] = value
+
+    def load(self, *index):
+        """Element load, explicit-call form of ``__getitem__``."""
+        return self._data[self._resolve(tuple(index))]
+
+    def store(self, value, *index) -> None:
+        """Element store, explicit-call form of ``__setitem__``."""
+        self[tuple(index)] = value
+
+    # -------------------------------------------------------------- conversion
+    def to_numpy(self) -> np.ndarray:
+        """Return a *copy* of the tensor contents shaped per the layout."""
+        if self.layout.order == "row_major" and self.layout.is_contiguous:
+            return self._data[: self.size].reshape(self.shape).copy()
+        out = np.empty(self.shape, dtype=self.dtype.to_numpy())
+        it = np.ndindex(*self.shape)
+        for idx in it:
+            out[idx] = self._data[self.layout.offset(*idx)]
+        return out
+
+    def view(self) -> np.ndarray:
+        """Zero-copy reshaped view (contiguous row-major layouts only)."""
+        if not (self.layout.order == "row_major" and self.layout.is_contiguous):
+            raise LayoutError("view() requires a contiguous row-major layout")
+        return self._data[: self.size].reshape(self.shape)
+
+    def fill(self, value) -> "LayoutTensor":
+        """Fill every element with *value* (requires mutability)."""
+        if not self.mut:
+            raise LayoutError("cannot fill an immutable tensor")
+        self._data[: self.size] = value
+        return self
+
+    def copy_from(self, array: Iterable) -> "LayoutTensor":
+        """Copy host data into the tensor (shape must match)."""
+        arr = np.asarray(array, dtype=self.dtype.to_numpy())
+        if arr.size != self.size:
+            raise LayoutError(
+                f"source has {arr.size} elements, tensor expects {self.size}"
+            )
+        if not self.mut:
+            raise LayoutError("cannot copy into an immutable tensor")
+        self.view()[...] = arr.reshape(self.shape)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mut = "mut" if self.mut else "immut"
+        return (f"LayoutTensor<{self.dtype.name}, {self.layout}, {mut}"
+                f"{', ' + self.name if self.name else ''}>")
+
+
+def _storage_array(storage) -> np.ndarray:
+    """Extract the flat NumPy array backing *storage*."""
+    # DeviceBuffer exposes .array; avoid importing device.py (circular import).
+    arr = getattr(storage, "array", storage)
+    arr = np.asarray(arr)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return arr

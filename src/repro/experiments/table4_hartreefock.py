@@ -1,0 +1,98 @@
+"""Table 4 — Hartree–Fock kernel wall-clock times, Mojo vs CUDA and HIP.
+
+Runs the helium systems of the paper's Table 4 on both platforms and checks
+the table's structure: Mojo beats CUDA by roughly 2.5x on H100 up to 256
+atoms, collapses for the 1024-atom / 6-Gaussian case, and trails HIP by
+orders of magnitude on MI300A.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..harness.compare import ordering_comparison, qualitative_comparison, ratio_comparison
+from ..harness.paper_data import TABLE4_HARTREE_FOCK_MS, TEXT_RATIOS
+from ..harness.results import ExperimentResult, ResultTable
+from ..kernels.hartreefock import run_hartreefock
+
+EXPERIMENT_ID = "table4"
+DESCRIPTION = "Hartree-Fock kernel wall-clock times: Mojo vs CUDA and HIP"
+
+#: (natoms, ngauss) rows of Table 4, largest first as in the paper
+ROWS = ((1024, 6), (256, 3), (128, 3), (64, 3))
+#: columns of Table 4
+COLUMNS = (("h100", "mojo"), ("h100", "cuda"), ("mi300a", "mojo"), ("mi300a", "hip"))
+
+
+def run(*, quick: bool = True, verify: bool = False) -> ExperimentResult:
+    """Regenerate Table 4."""
+    result = ExperimentResult(EXPERIMENT_ID, DESCRIPTION)
+    rows = ROWS[1:] if quick else ROWS     # the 1024-atom case is the slow one
+    table = ResultTable(
+        columns=["natoms", "ngauss", "h100_mojo_ms", "h100_cuda_ms",
+                 "mi300a_mojo_ms", "mi300a_hip_ms", "surviving_fraction"],
+        title="Kernel execution duration (ms)",
+    )
+
+    measured: Dict[Tuple[int, int, str, str], float] = {}
+    for natoms, ngauss in rows:
+        values = {}
+        surviving = None
+        for gpu, backend in COLUMNS:
+            res = run_hartreefock(natoms=natoms, ngauss=ngauss, backend=backend,
+                                  gpu=gpu, verify=verify)
+            verify = False
+            measured[(natoms, ngauss, gpu, backend)] = res.kernel_time_ms
+            values[f"{gpu}_{backend}_ms"] = res.kernel_time_ms
+            surviving = res.surviving_fraction
+        table.add_row(natoms=natoms, ngauss=ngauss,
+                      surviving_fraction=surviving, **values)
+    result.add_table(table)
+
+    # Shape checks per row.
+    for natoms, ngauss in rows:
+        key = lambda gpu, backend: measured[(natoms, ngauss, gpu, backend)]
+        label = f"a={natoms} ngauss={ngauss}"
+        if (natoms, ngauss) != (1024, 6):
+            result.add_comparison(ratio_comparison(
+                f"{label}: Mojo speedup over CUDA on H100",
+                key("h100", "cuda") / key("h100", "mojo"),
+                TEXT_RATIOS["hartreefock_mojo_speedup_vs_cuda_h100"], rel_tol=0.30,
+            ))
+        else:
+            result.add_comparison(qualitative_comparison(
+                f"{label}: Mojo collapses versus CUDA on H100",
+                key("h100", "mojo") > 5.0 * key("h100", "cuda"),
+                detail=f"{key('h100', 'mojo'):,.0f} vs {key('h100', 'cuda'):,.0f} ms",
+            ))
+        result.add_comparison(qualitative_comparison(
+            f"{label}: Mojo trails HIP by >10x on MI300A",
+            key("mi300a", "mojo") > 10.0 * key("mi300a", "hip"),
+            detail=f"{key('mi300a', 'mojo'):,.0f} vs {key('mi300a', 'hip'):,.0f} ms",
+        ))
+        paper_row = TABLE4_HARTREE_FOCK_MS.get((natoms, ngauss), {})
+        # The paper itself reports "abnormal behaviour" for the 512/1024-atom
+        # cases, so the largest row gets a wider absolute band.
+        abs_tol = 4.0 if (natoms, ngauss) == (1024, 6) else 2.0
+        for gpu, backend in COLUMNS:
+            paper_value = paper_row.get((gpu, backend))
+            if paper_value is None:
+                continue
+            result.add_comparison(ratio_comparison(
+                f"{label}: {backend} on {gpu} duration (ms)",
+                key(gpu, backend), paper_value, rel_tol=abs_tol,
+                detail=f"absolute times are model-scale; ±{abs_tol:.0%} band",
+            ))
+    result.notes.append(
+        "Surviving-quadruple fractions come from the synthetic helium lattice's "
+        "Schwarz bounds; the paper's original decks are not redistributed."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run(quick=False).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

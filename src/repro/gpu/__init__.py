@@ -1,0 +1,23 @@
+"""Simulated GPU hardware substrate.
+
+Provides the device specifications (Table 1 of the paper), memory/transfer
+models, the functional kernel executor, the occupancy calculator, the analytic
+timing model and the roofline model used to regenerate Figure 2.
+"""
+
+from .executor import ExecutionCounters, ExecutionResult, KernelExecutor
+from .memory import Allocation, AllocationTracker, MemorySpace, TransferModel
+from .occupancy import OccupancyResult, compute_occupancy
+from .roofline import Roofline, RooflinePoint, classify_workload
+from .specs import A100_SXM, H100_NVL, MI250X, MI300A, GPUSpec, get_gpu, list_gpus, register_gpu
+from .timing import KernelTimingModel, TimingBreakdown, estimate_cache_traffic
+
+__all__ = [
+    "ExecutionCounters", "ExecutionResult", "KernelExecutor",
+    "Allocation", "AllocationTracker", "MemorySpace", "TransferModel",
+    "OccupancyResult", "compute_occupancy",
+    "Roofline", "RooflinePoint", "classify_workload",
+    "GPUSpec", "get_gpu", "list_gpus", "register_gpu",
+    "H100_NVL", "MI300A", "A100_SXM", "MI250X",
+    "KernelTimingModel", "TimingBreakdown", "estimate_cache_traffic",
+]

@@ -1,0 +1,253 @@
+"""Functional execution of device kernels on the simulated GPU.
+
+The executor runs a :class:`~repro.core.kernel.Kernel` over a grid of blocks
+and threads, exactly as a GPU would schedule it logically (every thread sees
+its own ``thread_idx`` / ``block_idx``).  Two execution modes exist:
+
+``sequential``
+    Threads of a block run one after another in a plain Python loop.  Correct
+    for any kernel that does not rely on intra-block synchronisation
+    (``barrier``) for data exchange through shared memory.
+
+``cooperative``
+    Every thread of a block runs on its own OS thread, synchronised by a real
+    :class:`threading.Barrier`.  Required for kernels such as BabelStream's
+    ``Dot`` reduction that communicate through shared memory across barriers.
+
+The executor is a *functional* simulator: it computes the right answer and
+counts events (threads, barriers, atomics).  Kernel *durations* come from the
+analytic model in :mod:`repro.gpu.timing`, not from Python wall-clock.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import LaunchError
+from ..core.intrinsics import Dim3, ThreadState, bind_thread_state
+from ..core.kernel import Kernel, LaunchConfig
+
+__all__ = ["ExecutionCounters", "ExecutionResult", "KernelExecutor"]
+
+
+class ExecutionCounters:
+    """Event counters shared by all threads of one launch."""
+
+    __slots__ = ("threads_run", "blocks_run", "barriers", "atomics", "_lock")
+
+    def __init__(self):
+        self.threads_run = 0
+        self.blocks_run = 0
+        self.barriers = 0
+        self.atomics = 0
+        self._lock = threading.Lock()
+
+    def record_barrier(self) -> None:
+        with self._lock:
+            self.barriers += 1
+
+    def record_atomic(self) -> None:
+        with self._lock:
+            self.atomics += 1
+
+    def record_thread(self) -> None:
+        with self._lock:
+            self.threads_run += 1
+
+    def record_block(self) -> None:
+        with self._lock:
+            self.blocks_run += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "threads_run": self.threads_run,
+            "blocks_run": self.blocks_run,
+            "barriers": self.barriers,
+            "atomics": self.atomics,
+        }
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one functional launch."""
+
+    kernel_name: str
+    launch: LaunchConfig
+    mode: str
+    counters: ExecutionCounters
+    wall_time_s: float
+    shared_bytes_per_block: int = 0
+
+    @property
+    def threads_run(self) -> int:
+        return self.counters.threads_run
+
+    @property
+    def blocks_run(self) -> int:
+        return self.counters.blocks_run
+
+
+def _iter_dim3(extent: Dim3):
+    """Iterate all (x, y, z) indices of an extent, x fastest."""
+    for z in range(extent.z):
+        for y in range(extent.y):
+            for x in range(extent.x):
+                yield Dim3(x, y, z)
+
+
+def kernel_uses_barrier(kern: Kernel) -> bool:
+    """Heuristic: does the kernel body call ``barrier`` or allocate shared memory?"""
+    try:
+        src = inspect.getsource(kern.fn)
+    except (OSError, TypeError):
+        return True  # be safe: unknown source -> cooperative
+    return ("barrier(" in src) or ("stack_allocation" in src) or ("shared_array" in src)
+
+
+class KernelExecutor:
+    """Runs kernels functionally over a simulated grid."""
+
+    #: refuse cooperative launches with more OS threads per block than this
+    MAX_COOPERATIVE_BLOCK = 1024
+    #: refuse functional launches larger than this many total threads
+    #: (the functional simulator is for correctness, not for 2^25-element runs)
+    MAX_TOTAL_THREADS = 8_000_000
+
+    def __init__(self, *, max_total_threads: Optional[int] = None):
+        self.max_total_threads = max_total_threads or self.MAX_TOTAL_THREADS
+
+    # ------------------------------------------------------------------ API
+    def launch(
+        self,
+        kern: Kernel,
+        args: Sequence,
+        launch: LaunchConfig,
+        *,
+        mode: str = "auto",
+    ) -> ExecutionResult:
+        """Execute *kern* over the grid described by *launch*.
+
+        Parameters
+        ----------
+        kern:
+            The kernel (or plain callable) to run per thread.
+        args:
+            Positional arguments forwarded to every thread invocation.
+        launch:
+            Grid/block extents.
+        mode:
+            ``"auto"`` (default), ``"sequential"`` or ``"cooperative"``.
+        """
+        if not isinstance(kern, Kernel):
+            kern = Kernel(kern)
+        launch.validate()
+        total = launch.total_threads
+        if total > self.max_total_threads:
+            raise LaunchError(
+                f"functional launch of {total} threads exceeds the simulator "
+                f"limit of {self.max_total_threads}; use the vectorized "
+                "reference implementation / timing model for large problems"
+            )
+        if mode == "auto":
+            mode = "cooperative" if kernel_uses_barrier(kern) else "sequential"
+        if mode not in ("sequential", "cooperative"):
+            raise LaunchError(f"unknown execution mode {mode!r}")
+        if mode == "cooperative" and launch.threads_per_block > self.MAX_COOPERATIVE_BLOCK:
+            raise LaunchError(
+                f"cooperative mode supports at most {self.MAX_COOPERATIVE_BLOCK} "
+                f"threads per block, got {launch.threads_per_block}"
+            )
+
+        counters = ExecutionCounters()
+        start = time.perf_counter()
+        max_shared = 0
+        if mode == "sequential":
+            max_shared = self._run_sequential(kern, args, launch, counters)
+        else:
+            max_shared = self._run_cooperative(kern, args, launch, counters)
+        wall = time.perf_counter() - start
+
+        return ExecutionResult(
+            kernel_name=kern.name,
+            launch=launch,
+            mode=mode,
+            counters=counters,
+            wall_time_s=wall,
+            shared_bytes_per_block=max_shared,
+        )
+
+    # ----------------------------------------------------------- sequential
+    def _run_sequential(self, kern, args, launch, counters) -> int:
+        max_shared = 0
+        for block in _iter_dim3(launch.grid_dim):
+            block_shared: Dict[str, "np.ndarray"] = {}
+            counters.record_block()
+            for thread in _iter_dim3(launch.block_dim):
+                state = ThreadState(
+                    thread_idx=thread,
+                    block_idx=block,
+                    block_dim=launch.block_dim,
+                    grid_dim=launch.grid_dim,
+                    block_shared=block_shared,
+                    block_barrier=None,
+                    counters=counters,
+                )
+                with bind_thread_state(state):
+                    kern(*args)
+                counters.record_thread()
+            max_shared = max(max_shared, _shared_bytes(block_shared))
+        return max_shared
+
+    # ---------------------------------------------------------- cooperative
+    def _run_cooperative(self, kern, args, launch, counters) -> int:
+        nthreads = launch.threads_per_block
+        max_shared = 0
+        for block in _iter_dim3(launch.grid_dim):
+            block_shared: Dict[str, "np.ndarray"] = {}
+            barrier = threading.Barrier(nthreads)
+            errors: List[BaseException] = []
+            err_lock = threading.Lock()
+            counters.record_block()
+
+            def worker(thread: Dim3):
+                state = ThreadState(
+                    thread_idx=thread,
+                    block_idx=block,
+                    block_dim=launch.block_dim,
+                    grid_dim=launch.grid_dim,
+                    block_shared=block_shared,
+                    block_barrier=barrier,
+                    counters=counters,
+                )
+                try:
+                    with bind_thread_state(state):
+                        kern(*args)
+                    counters.record_thread()
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    with err_lock:
+                        errors.append(exc)
+                    barrier.abort()
+
+            workers = [threading.Thread(target=worker, args=(t,), daemon=True)
+                       for t in _iter_dim3(launch.block_dim)]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            if errors:
+                raise LaunchError(
+                    f"kernel {kern.name!r} raised in block {block}: {errors[0]!r}"
+                ) from errors[0]
+            max_shared = max(max_shared, _shared_bytes(block_shared))
+        return max_shared
+
+
+def _shared_bytes(block_shared: Dict) -> int:
+    total = 0
+    for arr in block_shared.values():
+        total += getattr(arr, "nbytes", 0)
+    return int(total)

@@ -1,0 +1,137 @@
+"""Device memory spaces, allocation tracking and the transfer model.
+
+The simulated device keeps device allocations in host NumPy arrays but tracks
+them against the GPU's memory capacity so that out-of-memory behaviour,
+allocation accounting and host<->device transfer times are all modelled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.dtypes import DType, dtype_from_any
+from ..core.errors import DeviceError, OutOfMemoryError
+from .specs import GPUSpec
+
+__all__ = ["MemorySpace", "Allocation", "AllocationTracker", "TransferModel"]
+
+
+class MemorySpace:
+    """Device memory space identifiers."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    CONSTANT = "constant"
+    HOST = "host"
+
+
+@dataclass
+class Allocation:
+    """One live device allocation."""
+
+    alloc_id: int
+    nbytes: int
+    dtype: DType
+    count: int
+    space: str = MemorySpace.GLOBAL
+    label: str = ""
+    freed: bool = False
+
+
+class AllocationTracker:
+    """Tracks live device allocations against a GPU's memory capacity."""
+
+    def __init__(self, spec: GPUSpec, *, reserve_fraction: float = 0.02):
+        self.spec = spec
+        #: bytes reserved for runtime/context (not available to the user)
+        self.reserved_bytes = int(spec.memory_bytes * reserve_fraction)
+        self._allocations: Dict[int, Allocation] = {}
+        self._next_id = 1
+        self.bytes_in_use = 0
+        self.peak_bytes = 0
+        self.total_allocated_bytes = 0
+        self.alloc_count = 0
+        self.free_count = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.spec.memory_bytes - self.reserved_bytes
+
+    @property
+    def bytes_free(self) -> int:
+        return self.capacity_bytes - self.bytes_in_use
+
+    def allocate(self, count: int, dtype, *, space: str = MemorySpace.GLOBAL,
+                 label: str = "") -> Allocation:
+        """Register an allocation of *count* elements of *dtype*."""
+        if count <= 0:
+            raise DeviceError(f"allocation count must be positive, got {count}")
+        dt = dtype_from_any(dtype)
+        nbytes = count * dt.sizeof
+        if nbytes > self.bytes_free:
+            raise OutOfMemoryError(
+                f"allocation of {nbytes / 1e9:.2f} GB exceeds free device memory "
+                f"({self.bytes_free / 1e9:.2f} GB of {self.capacity_bytes / 1e9:.2f} GB) "
+                f"on {self.spec.full_name}"
+            )
+        alloc = Allocation(self._next_id, nbytes, dt, count, space, label)
+        self._allocations[alloc.alloc_id] = alloc
+        self._next_id += 1
+        self.bytes_in_use += nbytes
+        self.total_allocated_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.bytes_in_use)
+        self.alloc_count += 1
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release an allocation; double frees raise."""
+        live = self._allocations.get(alloc.alloc_id)
+        if live is None or live.freed:
+            raise DeviceError(f"double free of allocation #{alloc.alloc_id}")
+        live.freed = True
+        del self._allocations[alloc.alloc_id]
+        self.bytes_in_use -= live.nbytes
+        self.free_count += 1
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._allocations)
+
+    def summary(self) -> Dict[str, float]:
+        """Allocation accounting snapshot (bytes and counts)."""
+        return {
+            "bytes_in_use": self.bytes_in_use,
+            "peak_bytes": self.peak_bytes,
+            "total_allocated_bytes": self.total_allocated_bytes,
+            "live_allocations": self.live_allocations,
+            "alloc_count": self.alloc_count,
+            "free_count": self.free_count,
+            "capacity_bytes": self.capacity_bytes,
+        }
+
+
+@dataclass
+class TransferModel:
+    """Models host<->device copy time over the link described by the spec."""
+
+    spec: GPUSpec
+    #: fixed per-transfer latency in microseconds
+    latency_us: float = 10.0
+
+    def transfer_time_s(self, nbytes: int) -> float:
+        """Predicted copy time in seconds for *nbytes*."""
+        if nbytes < 0:
+            raise DeviceError("transfer size cannot be negative")
+        bw = self.spec.transfer_bw_gbs * 1e9
+        return self.latency_us * 1e-6 + nbytes / bw
+
+    def effective_bandwidth_gbs(self, nbytes: int) -> float:
+        """Achieved GB/s for one transfer, including latency."""
+        t = self.transfer_time_s(nbytes)
+        if t == 0:
+            return 0.0
+        return nbytes / t / 1e9

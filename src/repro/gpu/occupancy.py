@@ -1,0 +1,133 @@
+"""Occupancy calculator for the simulated GPUs.
+
+Occupancy (resident warps per SM relative to the maximum) is a standard
+latency-hiding proxy; the timing model uses it to derate achievable memory
+bandwidth when a kernel's register or shared-memory footprint limits the
+number of co-resident blocks.  The calculation follows the usual CUDA
+occupancy rules, parameterised by the :class:`~repro.gpu.specs.GPUSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import LaunchError
+from .specs import GPUSpec
+
+__all__ = ["OccupancyResult", "compute_occupancy"]
+
+#: register file allocation granularity (registers are allocated per warp in
+#: chunks; 256 per warp matches recent NVIDIA/AMD hardware closely enough)
+_REGISTER_ALLOC_UNIT = 256
+#: shared memory allocation granularity in bytes
+_SHARED_ALLOC_UNIT = 1024
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Result of an occupancy computation for one launch configuration."""
+
+    blocks_per_sm: int
+    active_threads_per_sm: int
+    active_warps_per_sm: int
+    max_warps_per_sm: int
+    occupancy: float
+    #: which resource bound the result: "threads", "registers", "shared", "blocks"
+    limited_by: str
+    waves: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"occupancy={self.occupancy:.2f} "
+                f"({self.active_warps_per_sm}/{self.max_warps_per_sm} warps, "
+                f"limited by {self.limited_by})")
+
+
+def _round_up(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit
+
+
+def compute_occupancy(
+    spec: GPUSpec,
+    threads_per_block: int,
+    registers_per_thread: int = 32,
+    shared_bytes_per_block: int = 0,
+    *,
+    num_blocks: Optional[int] = None,
+    max_blocks_per_sm: int = 32,
+) -> OccupancyResult:
+    """Compute achievable occupancy for a launch on *spec*.
+
+    Parameters mirror the CUDA occupancy API.  ``num_blocks`` (total blocks in
+    the grid) is optional; when given, the number of "waves" of blocks over
+    the whole device is also reported, which the timing model uses for tail
+    effects on small grids.
+    """
+    if threads_per_block <= 0:
+        raise LaunchError("threads_per_block must be positive")
+    if threads_per_block > spec.max_threads_per_block:
+        raise LaunchError(
+            f"threads_per_block={threads_per_block} exceeds device limit "
+            f"{spec.max_threads_per_block}"
+        )
+    if registers_per_thread <= 0:
+        registers_per_thread = 1
+
+    warp = spec.warp_size
+    warps_per_block = -(-threads_per_block // warp)
+    max_warps_per_sm = spec.max_threads_per_sm // warp
+
+    # Limit 1: resident threads
+    limit_threads = spec.max_threads_per_sm // threads_per_block
+
+    # Limit 2: register file
+    regs_per_block = _round_up(
+        registers_per_thread * warp, _REGISTER_ALLOC_UNIT
+    ) * warps_per_block
+    limit_registers = (
+        spec.registers_per_sm // regs_per_block if regs_per_block > 0 else max_blocks_per_sm
+    )
+
+    # Limit 3: shared memory (unconstrained when the block uses none)
+    if shared_bytes_per_block > 0:
+        shared = _round_up(int(shared_bytes_per_block), _SHARED_ALLOC_UNIT)
+        if shared > spec.shared_mem_per_block:
+            raise LaunchError(
+                f"block requests {shared} B of shared memory; device limit is "
+                f"{spec.shared_mem_per_block} B"
+            )
+        limit_shared = spec.shared_mem_per_sm // shared
+    else:
+        limit_shared = 10 ** 9
+
+    # Limit 4: hardware block slots
+    limit_blocks = max_blocks_per_sm
+
+    limits = {
+        "threads": limit_threads,
+        "registers": limit_registers,
+        "shared": limit_shared,
+        "blocks": limit_blocks,
+    }
+    blocks_per_sm = max(0, min(limits.values()))
+    limited_by = min(limits, key=lambda k: limits[k])
+
+    active_threads = blocks_per_sm * threads_per_block
+    active_warps = blocks_per_sm * warps_per_block
+    occupancy = active_warps / max_warps_per_sm if max_warps_per_sm else 0.0
+    occupancy = min(1.0, occupancy)
+
+    waves = 0.0
+    if num_blocks is not None and blocks_per_sm > 0:
+        device_blocks = blocks_per_sm * spec.sm_count
+        waves = num_blocks / device_blocks
+
+    return OccupancyResult(
+        blocks_per_sm=blocks_per_sm,
+        active_threads_per_sm=active_threads,
+        active_warps_per_sm=active_warps,
+        max_warps_per_sm=max_warps_per_sm,
+        occupancy=occupancy,
+        limited_by=limited_by,
+        waves=waves,
+    )

@@ -1,0 +1,109 @@
+"""Roofline model and workload placement (Figure 2 of the paper).
+
+The paper's Figure 2 places the four workloads on an H100 roofline obtained
+with Nsight Compute.  Here the roofline is constructed analytically from the
+GPU spec (peak bandwidth and peak FLOP rates) and the workload points come
+from the profiling counters of the simulated runs, at the three cache levels
+reported by ncu (L1, L2, DRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from .specs import GPUSpec, get_gpu
+
+__all__ = ["RooflinePoint", "Roofline", "classify_workload"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on the roofline."""
+
+    name: str
+    #: arithmetic intensity in FLOP/byte (at some cache level)
+    arithmetic_intensity: float
+    #: achieved performance in FLOP/s
+    performance: float
+    #: precision of the workload ("float32"/"float64")
+    precision: str = "float64"
+    #: cache level the intensity refers to ("l1", "l2", "dram")
+    level: str = "dram"
+
+    @property
+    def gflops(self) -> float:
+        return self.performance / 1e9
+
+
+class Roofline:
+    """Analytic roofline for one GPU."""
+
+    def __init__(self, gpu):
+        self.spec: GPUSpec = get_gpu(gpu)
+
+    # ------------------------------------------------------------------ model
+    def peak_flops(self, precision: str = "float64") -> float:
+        return self.spec.peak_flops(precision)
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.spec.peak_bandwidth_bytes
+
+    def ridge_point(self, precision: str = "float64") -> float:
+        """Arithmetic intensity where the memory roof meets the compute roof."""
+        return self.peak_flops(precision) / self.peak_bandwidth
+
+    def attainable(self, arithmetic_intensity: float,
+                   precision: str = "float64") -> float:
+        """Attainable FLOP/s at a given arithmetic intensity."""
+        if arithmetic_intensity < 0:
+            raise ConfigurationError("arithmetic intensity cannot be negative")
+        return min(self.peak_flops(precision),
+                   arithmetic_intensity * self.peak_bandwidth)
+
+    def efficiency(self, point: RooflinePoint) -> float:
+        """Fraction of the attainable roof achieved by a workload point."""
+        roof = self.attainable(point.arithmetic_intensity, point.precision)
+        if roof <= 0:
+            return 0.0
+        return min(1.0, point.performance / roof)
+
+    # ----------------------------------------------------------------- curves
+    def roof_series(self, precision: str = "float64",
+                    ai_range: Tuple[float, float] = (0.01, 100.0),
+                    points: int = 64) -> List[Tuple[float, float]]:
+        """Sample the roofline curve (log-spaced) for plotting."""
+        import math
+
+        lo, hi = ai_range
+        if lo <= 0 or hi <= lo:
+            raise ConfigurationError("ai_range must be positive and increasing")
+        series = []
+        for i in range(points):
+            ai = lo * (hi / lo) ** (i / (points - 1))
+            series.append((ai, self.attainable(ai, precision)))
+        return series
+
+    def place(self, name: str, *, flops: float, bytes_moved: float,
+              time_s: float, precision: str = "float64",
+              level: str = "dram") -> RooflinePoint:
+        """Create a workload point from raw counters."""
+        if time_s <= 0:
+            raise ConfigurationError("time must be positive to place a point")
+        if bytes_moved <= 0:
+            raise ConfigurationError("bytes_moved must be positive")
+        return RooflinePoint(
+            name=name,
+            arithmetic_intensity=flops / bytes_moved,
+            performance=flops / time_s,
+            precision=precision,
+            level=level,
+        )
+
+
+def classify_workload(point: RooflinePoint, roofline: Roofline) -> str:
+    """Classify a workload as memory- or compute-bound on this roofline."""
+    ridge = roofline.ridge_point(point.precision)
+    return "memory-bound" if point.arithmetic_intensity < ridge else "compute-bound"

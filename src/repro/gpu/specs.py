@@ -1,0 +1,223 @@
+"""Hardware specifications of the GPUs used in the paper (Table 1 / Table 6).
+
+The paper evaluates on an NVIDIA H100 NVL (94 GB, 3.9 TB/s, 60 FP32 / 30 FP64
+TFLOP/s) and an AMD MI300A (128 GB HBM3, 5.3 TB/s, 122.6 FP32 / 61.3 FP64
+TFLOP/s).  This module holds those specifications plus a couple of additional
+devices useful for exploration (A100, MI250X), and a registry so the rest of
+the framework can look GPUs up by name.
+
+These are *models* of the devices: the microarchitectural numbers
+(SMs, registers, shared memory, warp size) feed the occupancy calculator and
+the analytic timing model; nothing here talks to real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["GPUSpec", "get_gpu", "list_gpus", "register_gpu",
+           "H100_NVL", "MI300A", "A100_SXM", "MI250X"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Specification of one simulated GPU."""
+
+    #: short registry name, e.g. ``"h100"``
+    name: str
+    #: marketing name used in reports
+    full_name: str
+    #: ``"nvidia"`` or ``"amd"``
+    vendor: str
+    #: device memory in GiB
+    memory_gib: float
+    #: peak DRAM bandwidth in GB/s (Table 1)
+    mem_bw_gbs: float
+    #: peak FP32 throughput in TFLOP/s (Table 1)
+    fp32_tflops: float
+    #: peak FP64 throughput in TFLOP/s (Table 1)
+    fp64_tflops: float
+    #: number of SMs (NVIDIA) or CUs (AMD)
+    sm_count: int
+    #: SIMT width: warp (32) or wavefront (64)
+    warp_size: int
+    #: maximum resident threads per SM/CU
+    max_threads_per_sm: int = 2048
+    #: maximum threads per block
+    max_threads_per_block: int = 1024
+    #: 32-bit registers per SM/CU
+    registers_per_sm: int = 65536
+    #: maximum registers addressable per thread
+    max_registers_per_thread: int = 255
+    #: shared memory / LDS per SM in bytes
+    shared_mem_per_sm: int = 164 * 1024
+    #: maximum shared memory per block in bytes
+    shared_mem_per_block: int = 48 * 1024
+    #: last-level cache in MiB
+    l2_cache_mib: float = 50.0
+    #: core clock in GHz (used for per-instruction latencies)
+    clock_ghz: float = 1.7
+    #: host<->device transfer bandwidth in GB/s (PCIe / unified memory)
+    transfer_bw_gbs: float = 55.0
+    #: kernel launch overhead in microseconds
+    launch_overhead_us: float = 5.0
+    #: sustained *contended* atomic FP64 update rate, in billions of updates
+    #: per second, for hardware-native atomics scattered over a matrix-sized
+    #: address range.  Calibrated so the vendor baselines land on the paper's
+    #: Table 4 Hartree-Fock wall-clock times (472 ms on H100 / 178 ms on
+    #: MI300A at 256 atoms).
+    atomic_gups: float = 0.5
+
+    # ------------------------------------------------------------ derived
+    @property
+    def is_nvidia(self) -> bool:
+        return self.vendor == "nvidia"
+
+    @property
+    def is_amd(self) -> bool:
+        return self.vendor == "amd"
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.memory_gib * (1024 ** 3))
+
+    def peak_flops(self, dtype_name: str) -> float:
+        """Peak FLOP/s for a precision (``"float32"`` or ``"float64"``)."""
+        if dtype_name in ("float64", "fp64", "double"):
+            return self.fp64_tflops * 1e12
+        if dtype_name in ("float32", "fp32", "float", "single", "float16"):
+            return self.fp32_tflops * 1e12
+        raise ConfigurationError(f"no peak throughput defined for {dtype_name!r}")
+
+    @property
+    def peak_bandwidth_bytes(self) -> float:
+        """Peak memory bandwidth in bytes/s."""
+        return self.mem_bw_gbs * 1e9
+
+    def ridge_point(self, dtype_name: str = "float64") -> float:
+        """Roofline ridge point in FLOP/byte for a precision."""
+        return self.peak_flops(dtype_name) / self.peak_bandwidth_bytes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.full_name} ({self.mem_bw_gbs:.0f} GB/s)"
+
+
+# --------------------------------------------------------------------------
+# Devices from the paper (Table 1) plus two extra devices for exploration.
+# --------------------------------------------------------------------------
+
+H100_NVL = GPUSpec(
+    name="h100",
+    full_name="NVIDIA H100 NVL - 94 GB",
+    vendor="nvidia",
+    memory_gib=94.0,
+    mem_bw_gbs=3900.0,
+    fp32_tflops=60.0,
+    fp64_tflops=30.0,
+    sm_count=132,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    registers_per_sm=65536,
+    shared_mem_per_sm=228 * 1024,
+    shared_mem_per_block=227 * 1024,
+    l2_cache_mib=50.0,
+    clock_ghz=1.785,
+    transfer_bw_gbs=55.0,
+    launch_overhead_us=5.0,
+    atomic_gups=0.4,
+)
+
+MI300A = GPUSpec(
+    name="mi300a",
+    full_name="AMD MI300A - 128 GB HBM3",
+    vendor="amd",
+    memory_gib=128.0,
+    mem_bw_gbs=5300.0,
+    fp32_tflops=122.6,
+    fp64_tflops=61.3,
+    sm_count=228,
+    warp_size=64,
+    max_threads_per_sm=2048,
+    registers_per_sm=65536 * 2,          # VGPR + AGPR file
+    shared_mem_per_sm=64 * 1024,
+    shared_mem_per_block=64 * 1024,
+    l2_cache_mib=256.0,                   # Infinity Cache
+    clock_ghz=2.1,
+    transfer_bw_gbs=128.0,                # APU unified memory
+    launch_overhead_us=6.0,
+    atomic_gups=1.0,
+)
+
+A100_SXM = GPUSpec(
+    name="a100",
+    full_name="NVIDIA A100 SXM4 - 80 GB",
+    vendor="nvidia",
+    memory_gib=80.0,
+    mem_bw_gbs=2039.0,
+    fp32_tflops=19.5,
+    fp64_tflops=9.7,
+    sm_count=108,
+    warp_size=32,
+    shared_mem_per_sm=164 * 1024,
+    shared_mem_per_block=163 * 1024,
+    l2_cache_mib=40.0,
+    clock_ghz=1.41,
+    atomic_gups=0.3,
+)
+
+MI250X = GPUSpec(
+    name="mi250x",
+    full_name="AMD MI250X (single GCD) - 64 GB",
+    vendor="amd",
+    memory_gib=64.0,
+    mem_bw_gbs=1638.0,
+    fp32_tflops=23.9,
+    fp64_tflops=23.9,
+    sm_count=110,
+    warp_size=64,
+    shared_mem_per_sm=64 * 1024,
+    shared_mem_per_block=64 * 1024,
+    l2_cache_mib=8.0,
+    clock_ghz=1.7,
+    atomic_gups=0.6,
+)
+
+
+_REGISTRY: Dict[str, GPUSpec] = {}
+
+
+def register_gpu(spec: GPUSpec, *aliases: str) -> GPUSpec:
+    """Add a GPU spec (and optional aliases) to the registry."""
+    _REGISTRY[spec.name.lower()] = spec
+    for alias in aliases:
+        _REGISTRY[alias.lower()] = spec
+    return spec
+
+
+register_gpu(H100_NVL, "h100-nvl", "hopper")
+register_gpu(MI300A, "mi300", "mi300a-apu")
+register_gpu(A100_SXM, "ampere")
+register_gpu(MI250X, "mi250")
+
+
+def get_gpu(name) -> GPUSpec:
+    """Look up a GPU by registry name; passes through GPUSpec instances."""
+    if isinstance(name, GPUSpec):
+        return name
+    try:
+        return _REGISTRY[str(name).lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown GPU {name!r}; known GPUs: {sorted(set(_REGISTRY))}"
+        ) from None
+
+
+def list_gpus() -> Tuple[str, ...]:
+    """Canonical (de-aliased) names of all registered GPUs."""
+    seen = {}
+    for spec in _REGISTRY.values():
+        seen[spec.name] = spec
+    return tuple(sorted(seen))

@@ -1,0 +1,33 @@
+"""Experiment harness: results, paper data, comparisons, sweeps, plotting."""
+
+from .compare import (
+    ordering_comparison,
+    qualitative_comparison,
+    ratio_comparison,
+    within_band,
+)
+from .paper_data import (
+    FIGURE_EXPECTATIONS,
+    TABLE1_HARDWARE,
+    TABLE2_STENCIL_NCU,
+    TABLE3_BABELSTREAM_NCU,
+    TABLE4_HARTREE_FOCK_MS,
+    TABLE5_EFFICIENCIES,
+    TABLE5_PHI,
+    TEXT_RATIOS,
+)
+from .plotting import Series, bar_chart, line_chart, series_to_csv
+from .results import Comparison, ExperimentResult, ResultTable
+from .runner import BenchmarkRunner, Measurement, MeasurementProtocol
+from .sweep import Sweep, sweep
+
+__all__ = [
+    "ordering_comparison", "qualitative_comparison", "ratio_comparison", "within_band",
+    "FIGURE_EXPECTATIONS", "TABLE1_HARDWARE", "TABLE2_STENCIL_NCU",
+    "TABLE3_BABELSTREAM_NCU", "TABLE4_HARTREE_FOCK_MS", "TABLE5_EFFICIENCIES",
+    "TABLE5_PHI", "TEXT_RATIOS",
+    "Series", "bar_chart", "line_chart", "series_to_csv",
+    "Comparison", "ExperimentResult", "ResultTable",
+    "BenchmarkRunner", "Measurement", "MeasurementProtocol",
+    "Sweep", "sweep",
+]

@@ -1,0 +1,97 @@
+"""Text-mode rendering of figure data (bar charts and line series).
+
+The paper's plotting scripts use pandas/matplotlib/seaborn; this repository
+has no plotting dependencies, so figures are emitted as aligned text charts
+plus CSV so they can be re-plotted externally with the original scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["Series", "bar_chart", "line_chart", "series_to_csv"]
+
+
+@dataclass
+class Series:
+    """One named data series of (x, y) points."""
+
+    name: str
+    points: List[Tuple[object, float]] = field(default_factory=list)
+
+    def add(self, x, y: float) -> None:
+        self.points.append((x, float(y)))
+
+    @property
+    def xs(self) -> List[object]:
+        return [x for x, _ in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+
+def bar_chart(values: Mapping[str, float], *, title: str = "", width: int = 50,
+              unit: str = "") -> str:
+    """Render labelled values as a horizontal ASCII bar chart."""
+    if not values:
+        raise ConfigurationError("bar_chart requires at least one value")
+    vmax = max(values.values())
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max(len(str(k)) for k in values)
+    lines = []
+    if title:
+        lines.extend([title, "-" * len(title)])
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(width * value / vmax))) if value > 0 else ""
+        lines.append(f"{str(label).ljust(label_w)} | {bar} {value:,.1f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(series: Sequence[Series], *, title: str = "", width: int = 60,
+               unit: str = "") -> str:
+    """Render one or more series as an aligned text table with spark bars.
+
+    Every series must share the same x values (the harness sweeps guarantee
+    this); each row shows the x value and one bar per series.
+    """
+    if not series:
+        raise ConfigurationError("line_chart requires at least one series")
+    xs = series[0].xs
+    for s in series[1:]:
+        if s.xs != xs:
+            raise ConfigurationError("all series must share the same x values")
+    vmax = max(max(s.ys) for s in series if s.ys) or 1.0
+    per_series = max(10, width // len(series))
+    lines = []
+    if title:
+        lines.extend([title, "-" * len(title)])
+    header = "x".ljust(10) + "".join(s.name.ljust(per_series + 12) for s in series)
+    lines.append(header)
+    for i, x in enumerate(xs):
+        row = str(x).ljust(10)
+        for s in series:
+            y = s.ys[i]
+            bar = "#" * max(1, int(round(per_series * y / vmax))) if y > 0 else ""
+            row += f"{bar}".ljust(per_series + 1) + f"{y:,.1f}{unit}".ljust(11)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def series_to_csv(series: Sequence[Series], *, x_label: str = "x") -> str:
+    """Serialise series sharing the same x axis as CSV text."""
+    if not series:
+        raise ConfigurationError("series_to_csv requires at least one series")
+    xs = series[0].xs
+    for s in series[1:]:
+        if s.xs != xs:
+            raise ConfigurationError("all series must share the same x values")
+    header = [x_label] + [s.name for s in series]
+    lines = [",".join(header)]
+    for i, x in enumerate(xs):
+        lines.append(",".join([str(x)] + [repr(s.ys[i]) for s in series]))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,196 @@
+"""Result containers and serialisation for the experiment harness.
+
+Every experiment produces an :class:`ExperimentResult`: a table of rows (one
+per measured configuration), optional notes, and the comparisons against the
+paper's reported values.  Results can be rendered as text, markdown or CSV so
+the CLI, the benchmark suite and EXPERIMENTS.md all draw from the same data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["ResultTable", "Comparison", "ExperimentResult"]
+
+
+@dataclass
+class ResultTable:
+    """A column-ordered table of result rows."""
+
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, **values) -> Dict[str, object]:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ConfigurationError(
+                f"row has columns {sorted(unknown)} not declared in {self.columns}"
+            )
+        self.rows.append(dict(values))
+        return self.rows[-1]
+
+    def column(self, name: str) -> List[object]:
+        if name not in self.columns:
+            raise ConfigurationError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    # -------------------------------------------------------------- rendering
+    def _formatted(self, value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:,.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def to_markdown(self) -> str:
+        lines = []
+        if self.title:
+            lines.append(f"### {self.title}")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join(["---"] * len(self.columns)) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(self._formatted(row.get(c))
+                                           for c in self.columns) + " |")
+        return "\n".join(lines)
+
+    def to_text(self) -> str:
+        table = [self.columns] + [
+            [self._formatted(row.get(c)) for c in self.columns] for row in self.rows
+        ]
+        widths = [max(len(str(r[i])) for r in table) for i in range(len(self.columns))]
+        out = []
+        if self.title:
+            out.extend([self.title, "-" * len(self.title)])
+        for r in table:
+            out.append("  ".join(str(cell).ljust(w) for cell, w in zip(r, widths)))
+        return "\n".join(out)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=self.columns)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({c: row.get(c, "") for c in self.columns})
+        return buf.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class Comparison:
+    """One measured-vs-paper comparison line."""
+
+    label: str
+    measured: float
+    paper: Optional[float]
+    #: what kind of agreement is claimed: "ratio", "ordering", "qualitative"
+    kind: str = "ratio"
+    passed: bool = True
+    detail: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+    def to_text(self) -> str:
+        status = "ok" if self.passed else "MISMATCH"
+        paper = "-" if self.paper is None else f"{self.paper:,.4g}"
+        ratio = "-" if self.ratio is None else f"{self.ratio:.2f}x"
+        detail = f"  ({self.detail})" if self.detail else ""
+        return (f"[{status}] {self.label}: measured={self.measured:,.4g} "
+                f"paper={paper} ratio={ratio}{detail}")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    description: str
+    tables: List[ResultTable] = field(default_factory=list)
+    comparisons: List[Comparison] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    extra_text: List[str] = field(default_factory=list)
+
+    def add_table(self, table: ResultTable) -> ResultTable:
+        self.tables.append(table)
+        return table
+
+    def add_comparison(self, comparison: Comparison) -> Comparison:
+        self.comparisons.append(comparison)
+        return comparison
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.comparisons)
+
+    # -------------------------------------------------------------- rendering
+    def to_text(self) -> str:
+        out = [f"=== {self.experiment_id}: {self.description} ==="]
+        for table in self.tables:
+            out.append("")
+            out.append(table.to_text())
+        for blob in self.extra_text:
+            out.append("")
+            out.append(blob)
+        if self.comparisons:
+            out.append("")
+            out.append("Paper comparison:")
+            for c in self.comparisons:
+                out.append("  " + c.to_text())
+        if self.notes:
+            out.append("")
+            for note in self.notes:
+                out.append(f"note: {note}")
+        return "\n".join(out)
+
+    def to_markdown(self) -> str:
+        out = [f"## {self.experiment_id}: {self.description}"]
+        for table in self.tables:
+            out.append("")
+            out.append(table.to_markdown())
+        for blob in self.extra_text:
+            out.append("")
+            out.append("```\n" + blob + "\n```")
+        if self.comparisons:
+            out.append("")
+            out.append("**Paper comparison**")
+            out.append("")
+            for c in self.comparisons:
+                out.append(f"- {c.to_text()}")
+        for note in self.notes:
+            out.append(f"\n> {note}")
+        return "\n".join(out)
+
+    def to_json(self) -> str:
+        payload = {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "tables": [
+                {"title": t.title, "columns": t.columns, "rows": t.rows}
+                for t in self.tables
+            ],
+            "comparisons": [
+                {"label": c.label, "measured": c.measured, "paper": c.paper,
+                 "kind": c.kind, "passed": c.passed, "detail": c.detail}
+                for c in self.comparisons
+            ],
+            "notes": self.notes,
+            "all_passed": self.all_passed,
+        }
+        return json.dumps(payload, indent=2, default=str)

@@ -1,0 +1,86 @@
+"""Benchmark execution protocol (warm-up, repeats, timing collection).
+
+The workload runners already model kernel durations; this module provides the
+measurement protocol around *host-side* execution used by the examples and
+the pytest benchmarks: run a callable with warm-up iterations discarded and
+repeated measurements summarised per the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.errors import ConfigurationError
+from ..metrics.statistics import RunStatistics, summarize
+
+__all__ = ["MeasurementProtocol", "Measurement", "BenchmarkRunner"]
+
+
+@dataclass(frozen=True)
+class MeasurementProtocol:
+    """How a quantity is measured: warm-up runs discarded, repeats kept."""
+
+    warmup: int = 1
+    repeats: int = 5
+
+    def __post_init__(self):
+        if self.warmup < 0 or self.repeats < 1:
+            raise ConfigurationError(
+                "warmup must be >= 0 and repeats >= 1 "
+                f"(got warmup={self.warmup}, repeats={self.repeats})"
+            )
+
+
+@dataclass
+class Measurement:
+    """Result of measuring one callable."""
+
+    name: str
+    samples_s: List[float] = field(default_factory=list)
+    result: object = None
+
+    @property
+    def statistics(self) -> RunStatistics:
+        return summarize(self.samples_s)
+
+    @property
+    def best_s(self) -> float:
+        return min(self.samples_s)
+
+    @property
+    def mean_s(self) -> float:
+        return self.statistics.mean
+
+
+class BenchmarkRunner:
+    """Runs callables under a fixed measurement protocol."""
+
+    def __init__(self, protocol: Optional[MeasurementProtocol] = None):
+        self.protocol = protocol or MeasurementProtocol()
+        self.measurements: List[Measurement] = []
+
+    def measure(self, name: str, fn: Callable[[], object]) -> Measurement:
+        """Measure ``fn`` (its return value from the last repeat is kept)."""
+        proto = self.protocol
+        for _ in range(proto.warmup):
+            fn()
+        samples = []
+        result = None
+        for _ in range(proto.repeats):
+            start = time.perf_counter()
+            result = fn()
+            samples.append(time.perf_counter() - start)
+        measurement = Measurement(name=name, samples_s=samples, result=result)
+        self.measurements.append(measurement)
+        return measurement
+
+    def report(self) -> str:
+        """Plain-text summary of all measurements."""
+        lines = ["host-side measurements (seconds):"]
+        for m in self.measurements:
+            s = m.statistics
+            lines.append(f"  {m.name}: mean={s.mean:.4f} min={s.minimum:.4f} "
+                         f"max={s.maximum:.4f} (n={s.count})")
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Parameter sweeps for the experiment harness.
+
+A :class:`Sweep` is an ordered cartesian product of named parameter lists
+with optional filtering, used by the figure experiments (PPWI x work-group
+sweeps, L x precision x block-shape sweeps, natoms x ngauss tables).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["Sweep", "sweep"]
+
+
+@dataclass
+class Sweep:
+    """Cartesian-product parameter sweep."""
+
+    parameters: Dict[str, List[object]] = field(default_factory=dict)
+    #: predicate applied to each candidate configuration
+    constraint: Optional[Callable[[Mapping[str, object]], bool]] = None
+
+    def add(self, name: str, values: Iterable[object]) -> "Sweep":
+        values = list(values)
+        if not values:
+            raise ConfigurationError(f"sweep parameter {name!r} has no values")
+        if name in self.parameters:
+            raise ConfigurationError(f"sweep parameter {name!r} already defined")
+        self.parameters[name] = values
+        return self
+
+    def where(self, predicate: Callable[[Mapping[str, object]], bool]) -> "Sweep":
+        """Attach (or chain) a configuration filter."""
+        previous = self.constraint
+
+        def combined(cfg: Mapping[str, object]) -> bool:
+            if previous is not None and not previous(cfg):
+                return False
+            return predicate(cfg)
+
+        self.constraint = combined if previous is not None else predicate
+        return self
+
+    # ------------------------------------------------------------------ iterate
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        if not self.parameters:
+            raise ConfigurationError("cannot iterate an empty sweep")
+        names = list(self.parameters)
+        for combo in itertools.product(*(self.parameters[n] for n in names)):
+            cfg = dict(zip(names, combo))
+            if self.constraint is None or self.constraint(cfg):
+                yield cfg
+
+    def configurations(self) -> List[Dict[str, object]]:
+        """Materialise all (filtered) configurations."""
+        return list(iter(self))
+
+    def __len__(self) -> int:
+        return len(self.configurations())
+
+    def run(self, fn: Callable[..., object]) -> List[object]:
+        """Call ``fn(**configuration)`` for every configuration, in order."""
+        return [fn(**cfg) for cfg in self]
+
+
+def sweep(**parameters: Iterable[object]) -> Sweep:
+    """Build a :class:`Sweep` from keyword parameter lists."""
+    s = Sweep()
+    for name, values in parameters.items():
+        s.add(name, values)
+    return s

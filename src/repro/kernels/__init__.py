@@ -1,0 +1,11 @@
+"""The four science workloads evaluated in the paper.
+
+* :mod:`repro.kernels.stencil` — seven-point Laplacian stencil (memory-bound)
+* :mod:`repro.kernels.babelstream` — BabelStream Copy/Mul/Add/Triad/Dot (memory-bound)
+* :mod:`repro.kernels.minibude` — miniBUDE ``fasten`` docking kernel (compute-bound)
+* :mod:`repro.kernels.hartreefock` — Hartree–Fock ERI kernel (compute-bound + atomics)
+"""
+
+from . import babelstream, hartreefock, minibude, stencil
+
+__all__ = ["stencil", "babelstream", "minibude", "hartreefock"]

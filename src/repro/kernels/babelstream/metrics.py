@@ -1,0 +1,47 @@
+"""Bandwidth metrics for BabelStream (paper Eq. 2).
+
+Each operation's bandwidth is derived from the number of arrays it touches:
+Copy and Mul move two arrays, Add and Triad move three, and Dot reads two.
+"""
+
+from __future__ import annotations
+
+from ...core.dtypes import dtype_from_any
+from ...core.errors import ConfigurationError
+
+__all__ = ["arrays_moved", "operation_bytes", "operation_bandwidth_gbs"]
+
+#: number of arrays moved per operation (Eq. 2)
+_ARRAYS_MOVED = {
+    "copy": 2,
+    "mul": 2,
+    "add": 3,
+    "triad": 3,
+    "dot": 2,
+}
+
+
+def arrays_moved(op: str) -> int:
+    """Number of vector-sized arrays moved by an operation."""
+    try:
+        return _ARRAYS_MOVED[op.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown BabelStream operation {op!r}; expected one of "
+            f"{sorted(_ARRAYS_MOVED)}"
+        ) from None
+
+
+def operation_bytes(op: str, n: int, precision: str) -> int:
+    """Total bytes moved by one execution of *op* on vectors of length *n*."""
+    if n <= 0:
+        raise ConfigurationError("vector size must be positive")
+    return arrays_moved(op) * n * dtype_from_any(precision).sizeof
+
+
+def operation_bandwidth_gbs(op: str, n: int, precision: str,
+                            kernel_time_s: float) -> float:
+    """Effective bandwidth in GB/s for one operation execution (Eq. 2)."""
+    if kernel_time_s <= 0:
+        raise ConfigurationError("kernel time must be positive")
+    return operation_bytes(op, n, precision) / kernel_time_s / 1e9

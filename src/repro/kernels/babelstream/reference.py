@@ -1,0 +1,108 @@
+"""Vectorized reference implementation and verification for BabelStream.
+
+Implements the same Copy/Mul/Add/Triad/Dot semantics with NumPy array
+operations, plus the standard BabelStream verification that replays the
+operation sequence on scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ...core.errors import VerificationError
+from .kernels import SCALAR, START_A, START_B, START_C
+
+__all__ = ["BabelStreamArrays", "expected_values", "verify_arrays",
+           "verify_dot"]
+
+
+class BabelStreamArrays:
+    """Host-side BabelStream state: three arrays a, b, c."""
+
+    def __init__(self, n: int, precision: str = "float64"):
+        dtype = np.dtype(precision)
+        self.n = int(n)
+        self.a = np.full(self.n, START_A, dtype=dtype)
+        self.b = np.full(self.n, START_B, dtype=dtype)
+        self.c = np.full(self.n, START_C, dtype=dtype)
+        self.scalar = dtype.type(SCALAR)
+
+    # ------------------------------------------------------------ operations
+    def copy(self) -> None:
+        """``c = a``"""
+        np.copyto(self.c, self.a)
+
+    def mul(self) -> None:
+        """``b = scalar * c``"""
+        np.multiply(self.c, self.scalar, out=self.b)
+
+    def add(self) -> None:
+        """``c = a + b``"""
+        np.add(self.a, self.b, out=self.c)
+
+    def triad(self) -> None:
+        """``a = b + scalar * c``"""
+        self.a[...] = self.b + self.scalar * self.c
+
+    def dot(self) -> float:
+        """``sum(a * b)``"""
+        return float(np.dot(self.a, self.b))
+
+    def run_iteration(self) -> float:
+        """One BabelStream iteration (copy, mul, add, triad, dot)."""
+        self.copy()
+        self.mul()
+        self.add()
+        self.triad()
+        return self.dot()
+
+
+def expected_values(num_iterations: int) -> Tuple[float, float, float]:
+    """Replay the operation sequence on scalars (BabelStream verification)."""
+    a, b, c, scalar = START_A, START_B, START_C, SCALAR
+    for _ in range(num_iterations):
+        c = a
+        b = scalar * c
+        c = a + b
+        a = b + scalar * c
+    return a, b, c
+
+
+def verify_arrays(arrays: BabelStreamArrays, num_iterations: int,
+                  *, rtol: float = None) -> Dict[str, float]:
+    """Verify the three arrays against the scalar replay.
+
+    Returns the per-array maximum relative errors; raises
+    :class:`VerificationError` if any exceeds *rtol*.
+    """
+    if rtol is None:
+        rtol = 1e-6 if arrays.a.dtype == np.float32 else 1e-12
+    exp_a, exp_b, exp_c = expected_values(num_iterations)
+    errors = {}
+    for name, arr, expected in (("a", arrays.a, exp_a), ("b", arrays.b, exp_b),
+                                ("c", arrays.c, exp_c)):
+        err = float(np.max(np.abs(arr - expected)) / max(abs(expected), 1e-30))
+        errors[name] = err
+        if err > rtol:
+            raise VerificationError(
+                f"BabelStream array {name!r} verification failed: "
+                f"max relative error {err:.3e} > {rtol:.1e}"
+            )
+    return errors
+
+
+def verify_dot(dot_value: float, arrays: BabelStreamArrays,
+               *, rtol: float = None) -> float:
+    """Verify a dot-product result against ``sum(a*b)`` of the current state."""
+    if rtol is None:
+        rtol = 1e-6 if arrays.a.dtype == np.float32 else 1e-10
+    expected = arrays.dot()
+    err = abs(dot_value - expected) / max(abs(expected), 1e-30)
+    if err > rtol:
+        raise VerificationError(
+            f"BabelStream dot verification failed: relative error {err:.3e} "
+            f"> {rtol:.1e}"
+        )
+    return err

@@ -1,0 +1,116 @@
+"""Reference Fock-matrix builders for the Hartree–Fock kernel.
+
+Two independent formulations are provided:
+
+* :func:`fock_quadruple_reference` — the same unique-quadruple accumulation
+  the device kernel performs, written as plain host code.  Matches the device
+  kernel bit-for-bit up to floating point associativity.
+* :func:`fock_direct_reference` — the textbook closed-shell expression
+  ``G_ij = sum_kl D_kl [(ij|kl) - 1/2 (ik|jl)]`` (the two-electron part of the
+  Fock matrix for a density matrix that already carries the factor-2 orbital
+  occupancy) built from the full ERI tensor.  The symmetrised quadruple
+  result must agree with it, which is the physics-level check in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.errors import VerificationError
+from .basis import HeSystem
+from .eri import contracted_eri
+from .kernel import SCHWARZ_TOLERANCE, decode_pair
+
+__all__ = ["eri_tensor", "fock_direct_reference", "fock_quadruple_reference",
+           "symmetrize", "verify_fock"]
+
+
+def eri_tensor(system: HeSystem) -> np.ndarray:
+    """Full (natoms^4) ERI tensor; intended for small validation systems."""
+    n = system.natoms
+    geom = system.geometry
+    eri = np.zeros((n, n, n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                for l in range(n):
+                    eri[i, j, k, l] = contracted_eri(
+                        geom[i], geom[j], geom[k], geom[l],
+                        system.xpnt, system.coef)
+    return eri
+
+
+def fock_direct_reference(system: HeSystem,
+                          eri: np.ndarray = None) -> np.ndarray:
+    """Closed-shell two-electron Fock matrix: ``G = J - K/2``.
+
+    With the occupancy-weighted density matrix used by the proxy, the
+    Coulomb term is ``J_ij = sum_kl D_kl (ij|kl)`` and the exchange term is
+    ``K_ij = sum_kl D_kl (ik|jl)``.
+    """
+    if eri is None:
+        eri = eri_tensor(system)
+    dens = system.dens
+    coulomb = np.einsum("ijkl,kl->ij", eri, dens)
+    exchange = np.einsum("ikjl,kl->ij", eri, dens)
+    return coulomb - 0.5 * exchange
+
+
+def fock_quadruple_reference(system: HeSystem, *,
+                             schwarz_tol: float = SCHWARZ_TOLERANCE,
+                             schwarz: np.ndarray = None) -> np.ndarray:
+    """Unique-quadruple accumulation, identical to the device kernel's math."""
+    n = system.natoms
+    geom = system.geometry
+    dens = system.dens
+    fock = np.zeros((n, n), dtype=np.float64)
+    npairs = n * (n + 1) // 2
+    nquads = npairs * (npairs + 1) // 2
+
+    for ijkl in range(nquads):
+        ij, kl = decode_pair(ijkl)
+        if schwarz is not None and schwarz[ij] * schwarz[kl] < schwarz_tol:
+            continue
+        i, j = decode_pair(ij)
+        k, l = decode_pair(kl)
+        eri = contracted_eri(geom[i], geom[j], geom[k], geom[l],
+                             system.xpnt, system.coef)
+        if i == j:
+            eri *= 0.5
+        if k == l:
+            eri *= 0.5
+        if i == k and j == l:
+            eri *= 0.5
+        fock[i, j] += dens[k, l] * eri * 4.0
+        fock[k, l] += dens[i, j] * eri * 4.0
+        fock[i, k] -= dens[j, l] * eri
+        fock[i, l] -= dens[j, k] * eri
+        fock[j, k] -= dens[i, l] * eri
+        fock[j, l] -= dens[i, k] * eri
+    return fock
+
+
+def symmetrize(fock: np.ndarray) -> np.ndarray:
+    """Average a Fock accumulation with its transpose."""
+    return 0.5 * (fock + fock.T)
+
+
+def verify_fock(computed: np.ndarray, expected: np.ndarray, *,
+                rtol: float = 1e-9) -> float:
+    """Maximum relative difference between two Fock matrices.
+
+    Raises :class:`VerificationError` above *rtol*.
+    """
+    computed = np.asarray(computed, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    if computed.shape != expected.shape:
+        raise VerificationError(
+            f"Fock matrix shape {computed.shape} != expected {expected.shape}"
+        )
+    scale = max(float(np.max(np.abs(expected))), 1e-30)
+    err = float(np.max(np.abs(computed - expected)) / scale)
+    if err > rtol:
+        raise VerificationError(
+            f"Fock verification failed: max relative error {err:.3e} > {rtol:.1e}"
+        )
+    return err

@@ -1,0 +1,36 @@
+"""FLOP-count metric for miniBUDE (paper Eq. 3).
+
+The paper derives GFLOP/s from an analytic operation count per work-item::
+
+    ops_workitem = 28*PPWI + nligands*[2 + 18*PPWI + nproteins*(10 + 30*PPWI)]
+    total_ops    = ops_workitem * poses / PPWI
+    GFLOP/s      = total_ops / kernel_time * 1e-9
+"""
+
+from __future__ import annotations
+
+from ...core.errors import ConfigurationError
+
+__all__ = ["ops_per_workitem", "total_ops", "gflops"]
+
+
+def ops_per_workitem(ppwi: int, natlig: int, natpro: int) -> float:
+    """Floating-point operations executed by one work-item (Eq. 3)."""
+    if min(ppwi, natlig, natpro) <= 0:
+        raise ConfigurationError("ppwi, natlig and natpro must be positive")
+    return 28.0 * ppwi + natlig * (2.0 + 18.0 * ppwi + natpro * (10.0 + 30.0 * ppwi))
+
+
+def total_ops(ppwi: int, natlig: int, natpro: int, nposes: int) -> float:
+    """Total floating-point operations for a full deck evaluation (Eq. 3)."""
+    if nposes <= 0:
+        raise ConfigurationError("nposes must be positive")
+    return ops_per_workitem(ppwi, natlig, natpro) * nposes / ppwi
+
+
+def gflops(ppwi: int, natlig: int, natpro: int, nposes: int,
+           kernel_time_s: float) -> float:
+    """Achieved GFLOP/s for one kernel execution (Eq. 3)."""
+    if kernel_time_s <= 0:
+        raise ConfigurationError("kernel time must be positive")
+    return total_ops(ppwi, natlig, natpro, nposes) / kernel_time_s * 1e-9

@@ -1,0 +1,151 @@
+"""High-level runner for the miniBUDE workload (Figures 6 and 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...backends import get_backend
+from ...core.device import DeviceContext
+from ...core.dtypes import DType
+from ...core.errors import ConfigurationError
+from ...core.intrinsics import ceildiv
+from ...core.kernel import LaunchConfig
+from ...gpu.specs import get_gpu
+from ...gpu.timing import TimingBreakdown
+from .deck import BM1_NPOSES, Deck, make_bm1, make_deck
+from .kernel import fasten_kernel, fasten_kernel_model
+from .metrics import gflops, total_ops
+from .reference import reference_energies, verify_energies
+
+__all__ = ["MiniBudeResult", "run_minibude", "run_fasten_functional",
+           "minibude_launch_config", "DEFAULT_PPWI_SWEEP", "DEFAULT_WGSIZES"]
+
+#: PPWI sweep used in Figures 6-7
+DEFAULT_PPWI_SWEEP = (1, 2, 4, 8, 16, 32, 64, 128)
+#: work-group sizes used in Figures 6-7
+DEFAULT_WGSIZES = (8, 64)
+
+
+@dataclass
+class MiniBudeResult:
+    """Result of one miniBUDE configuration."""
+
+    ppwi: int
+    wgsize: int
+    nposes: int
+    natlig: int
+    natpro: int
+    backend: str
+    gpu: str
+    fast_math: bool
+    kernel_time_ms: float
+    gflops: float
+    verified: bool
+    max_rel_error: float
+    timing: TimingBreakdown
+
+
+def minibude_launch_config(nposes: int, ppwi: int, wgsize: int) -> LaunchConfig:
+    """One thread per ``ppwi`` poses, ``wgsize`` threads per block."""
+    if nposes % ppwi != 0:
+        raise ConfigurationError(
+            f"nposes ({nposes}) must be divisible by ppwi ({ppwi})"
+        )
+    threads = nposes // ppwi
+    blocks = ceildiv(threads, wgsize)
+    return LaunchConfig.make(blocks, wgsize)
+
+
+def run_fasten_functional(deck: Deck, *, ppwi: int = 2, wgsize: int = 8,
+                          gpu: str = "h100") -> Tuple[np.ndarray, float]:
+    """Run the fasten device kernel through the functional simulator.
+
+    Returns ``(energies, max_rel_error)`` after verifying against the
+    vectorised reference.  Intended for reduced decks.
+    """
+    launch = minibude_launch_config(deck.nposes, ppwi, wgsize)
+    ctx = DeviceContext(gpu)
+
+    def make_buffer(data, label):
+        buf = ctx.enqueue_create_buffer(DType.float32, data.size, label=label)
+        buf.copy_from_host(data)
+        return buf.tensor(bounds_check=False)
+
+    protein = make_buffer(deck.protein_flat(), "protein")
+    ligand = make_buffer(deck.ligand_flat(), "ligand")
+    forcefield = make_buffer(deck.forcefield_flat(), "forcefield")
+    transforms = [make_buffer(t, f"t{i}") for i, t in enumerate(deck.transforms())]
+    etot_buf = ctx.enqueue_create_buffer(DType.float32, deck.nposes, label="etotals")
+    etotals = etot_buf.tensor(bounds_check=False)
+
+    ctx.enqueue_function(
+        fasten_kernel, ppwi, deck.natlig, deck.natpro, protein, ligand,
+        *transforms, etotals, forcefield, deck.nposes,
+        grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+    )
+    ctx.synchronize()
+    energies = etot_buf.copy_to_host()
+    err = verify_energies(energies, deck)
+    return energies, err
+
+
+def run_minibude(
+    *,
+    ppwi: int = 1,
+    wgsize: int = 64,
+    nposes: int = BM1_NPOSES,
+    backend: str = "mojo",
+    gpu: str = "h100",
+    fast_math: bool = False,
+    deck: Optional[Deck] = None,
+    verify: bool = True,
+    verify_poses: int = 64,
+    seed: int = 2025,
+) -> MiniBudeResult:
+    """Benchmark one miniBUDE configuration (bm1 by default).
+
+    Functional verification runs the device kernel on a reduced deck; the
+    reported GFLOP/s for the requested configuration comes from Eq. 3 applied
+    to the modelled kernel time.
+    """
+    spec = get_gpu(gpu)
+    be = get_backend(backend)
+    full_deck = deck or make_bm1(nposes, seed=seed)
+
+    verified = False
+    max_rel_error = float("nan")
+    if verify:
+        small = make_deck(natlig=min(full_deck.natlig, 8),
+                          natpro=min(full_deck.natpro, 32),
+                          ntypes=full_deck.ntypes,
+                          nposes=verify_poses, seed=seed, name="verify")
+        _, max_rel_error = run_fasten_functional(
+            small, ppwi=min(ppwi, 2), wgsize=min(wgsize, 8), gpu=gpu)
+        verified = True
+
+    model = fasten_kernel_model(ppwi=ppwi, natlig=full_deck.natlig,
+                                natpro=full_deck.natpro, wgsize=wgsize)
+    launch = minibude_launch_config(full_deck.nposes, ppwi, wgsize)
+    run = be.time(model, spec, launch, fast_math=fast_math)
+    time_s = run.timing.kernel_time_s
+    achieved = gflops(ppwi, full_deck.natlig, full_deck.natpro,
+                      full_deck.nposes, time_s)
+
+    return MiniBudeResult(
+        ppwi=ppwi,
+        wgsize=wgsize,
+        nposes=full_deck.nposes,
+        natlig=full_deck.natlig,
+        natpro=full_deck.natpro,
+        backend=be.name,
+        gpu=spec.name,
+        fast_math=run.fast_math,
+        kernel_time_ms=run.timing.kernel_time_ms,
+        gflops=achieved,
+        verified=verified,
+        max_rel_error=max_rel_error,
+        timing=run.timing,
+    )

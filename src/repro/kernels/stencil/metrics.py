@@ -1,0 +1,43 @@
+"""Effective-bandwidth metric for the seven-point stencil (paper Eq. 1).
+
+The paper measures the stencil with an *effective* bandwidth that counts only
+the cell data that must move for one simulation step:
+
+.. math::
+
+    fetch  &= (L^3 - 8 - 12 (L - 2)) \\cdot sizeof(T) \\\\
+    write  &= (L - 2)^3 \\cdot sizeof(T) \\\\
+    BW_{eff} &= (fetch + write) / t_{kernel}
+"""
+
+from __future__ import annotations
+
+from ...core.dtypes import dtype_from_any
+from ...core.errors import ConfigurationError
+
+__all__ = ["effective_fetch_bytes", "effective_write_bytes",
+           "effective_bandwidth_gbs"]
+
+
+def effective_fetch_bytes(L: int, precision: str) -> int:
+    """Bytes fetched per step according to Eq. 1."""
+    if L < 3:
+        raise ConfigurationError("L must be at least 3")
+    sizeof = dtype_from_any(precision).sizeof
+    return (L ** 3 - 8 - 12 * (L - 2)) * sizeof
+
+
+def effective_write_bytes(L: int, precision: str) -> int:
+    """Bytes written per step according to Eq. 1."""
+    if L < 3:
+        raise ConfigurationError("L must be at least 3")
+    sizeof = dtype_from_any(precision).sizeof
+    return (L - 2) ** 3 * sizeof
+
+
+def effective_bandwidth_gbs(L: int, precision: str, kernel_time_s: float) -> float:
+    """Effective bandwidth in GB/s for one kernel execution (Eq. 1)."""
+    if kernel_time_s <= 0:
+        raise ConfigurationError("kernel time must be positive")
+    total = effective_fetch_bytes(L, precision) + effective_write_bytes(L, precision)
+    return total / kernel_time_s / 1e9

@@ -1,0 +1,155 @@
+"""High-level runner for the seven-point stencil workload.
+
+Combines the problem setup, the device kernel (functional verification), the
+vectorized reference and the backend timing model into one call that returns
+everything Figure 3 and Table 2 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...backends import get_backend
+from ...core.device import DeviceContext
+from ...core.dtypes import DType
+from ...core.intrinsics import ceildiv
+from ...core.kernel import LaunchConfig
+from ...core.layout import Layout
+from ...gpu.specs import get_gpu
+from ...gpu.timing import TimingBreakdown
+from .kernel import laplacian_kernel, stencil_kernel_model
+from .metrics import effective_bandwidth_gbs
+from .problem import StencilProblem
+from .reference import laplacian_reference, verify_laplacian
+
+__all__ = ["StencilResult", "run_stencil", "verify_stencil_kernel",
+           "stencil_launch_config"]
+
+#: problem sizes at or below this edge length are verified with the
+#: thread-level functional simulator (larger sizes use the NumPy reference)
+FUNCTIONAL_VERIFY_MAX_L = 34
+
+
+@dataclass
+class StencilResult:
+    """Result of one stencil benchmark configuration."""
+
+    L: int
+    precision: str
+    backend: str
+    gpu: str
+    block_shape: Tuple[int, int, int]
+    kernel_time_ms: float
+    bandwidth_gbs: float
+    verified: bool
+    max_rel_error: float
+    timing: TimingBreakdown
+    samples_gbs: List[float] = field(default_factory=list)
+
+    @property
+    def mean_bandwidth_gbs(self) -> float:
+        if not self.samples_gbs:
+            return self.bandwidth_gbs
+        return float(np.mean(self.samples_gbs))
+
+
+def stencil_launch_config(L: int, block_shape: Tuple[int, int, int]) -> LaunchConfig:
+    """Grid covering an ``L^3`` domain with the given thread-block shape."""
+    bx, by, bz = block_shape
+    grid = (ceildiv(L, bx), ceildiv(L, by), ceildiv(L, bz))
+    return LaunchConfig.make(grid, block_shape)
+
+
+def verify_stencil_kernel(L: int = 18, precision: str = "float64",
+                          gpu: str = "h100",
+                          block_shape: Tuple[int, int, int] = (8, 4, 4)) -> float:
+    """Run the device kernel functionally on a small grid and verify it.
+
+    Returns the maximum relative error against the NumPy reference.
+    """
+    problem = StencilProblem(L, precision)
+    invhx2, invhy2, invhz2, invhxyz2 = problem.inverse_spacing_squared
+    u_host = problem.initial_field()
+
+    ctx = DeviceContext(gpu)
+    layout = Layout.row_major(L, L, L)
+    u_buf = ctx.enqueue_create_buffer(problem.dtype, problem.num_cells, label="u")
+    f_buf = ctx.enqueue_create_buffer(problem.dtype, problem.num_cells, label="f")
+    u_buf.copy_from_host(u_host)
+    u = u_buf.tensor(layout, mut=False, bounds_check=False)
+    f = f_buf.tensor(layout, mut=True, bounds_check=False)
+
+    launch = stencil_launch_config(L, block_shape)
+    ctx.enqueue_function(
+        laplacian_kernel, f, u, L, L, L, invhx2, invhy2, invhz2, invhxyz2,
+        grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+    )
+    ctx.synchronize()
+
+    result = f_buf.copy_to_host().reshape(problem.shape)
+    return verify_laplacian(result, u_host, invhx2, invhy2, invhz2, invhxyz2)
+
+
+def run_stencil(
+    *,
+    L: int = 512,
+    precision: str = "float64",
+    backend: str = "mojo",
+    gpu: str = "h100",
+    block_shape: Tuple[int, int, int] = (512, 1, 1),
+    iterations: int = 100,
+    warmup: int = 1,
+    jitter: float = 0.02,
+    seed: int = 2025,
+    verify: bool = True,
+) -> StencilResult:
+    """Benchmark one stencil configuration.
+
+    Functional verification runs on a reduced grid (the numerics of the
+    kernel do not depend on ``L``); the reported bandwidth for the requested
+    ``L`` comes from the backend timing model, evaluated per Eq. 1.  The
+    ``iterations``/``jitter`` parameters produce the per-run samples that give
+    Figure 3 its measurement spread (seeded, hence reproducible).
+    """
+    spec = get_gpu(gpu)
+    be = get_backend(backend)
+
+    max_rel_error = float("nan")
+    verified = False
+    if verify:
+        verify_l = min(L, FUNCTIONAL_VERIFY_MAX_L)
+        small_block = tuple(min(b, 8) for b in block_shape)
+        if small_block == (0, 0, 0):
+            small_block = (8, 4, 4)
+        max_rel_error = verify_stencil_kernel(verify_l, precision, gpu,
+                                              block_shape=(8, 4, 4))
+        verified = True
+
+    model = stencil_kernel_model(L=L, precision=precision)
+    launch = stencil_launch_config(L, block_shape)
+    run = be.time(model, spec, launch)
+    time_s = run.timing.kernel_time_s
+    bandwidth = effective_bandwidth_gbs(L, precision, time_s)
+
+    rng = np.random.default_rng(seed)
+    samples = []
+    for i in range(max(iterations - warmup, 0)):
+        noise = 1.0 + rng.normal(0.0, jitter)
+        samples.append(bandwidth * max(noise, 0.5))
+
+    return StencilResult(
+        L=L,
+        precision=precision,
+        backend=be.name,
+        gpu=spec.name,
+        block_shape=tuple(block_shape),
+        kernel_time_ms=run.timing.kernel_time_ms,
+        bandwidth_gbs=bandwidth,
+        verified=verified,
+        max_rel_error=max_rel_error,
+        timing=run.timing,
+        samples_gbs=samples,
+    )

@@ -1,0 +1,43 @@
+"""Figures of merit: bandwidth (Eqs. 1-2), GFLOP/s (Eq. 3), Φ (Eq. 4), statistics.
+
+The bandwidth and FLOP metrics live with their workloads
+(:mod:`repro.kernels.stencil.metrics`, :mod:`repro.kernels.babelstream.metrics`,
+:mod:`repro.kernels.minibude.metrics`); this package re-exports them alongside
+the cross-cutting portability metric and run statistics so harness code can
+import everything from one place.
+"""
+
+from ..kernels.babelstream.metrics import (
+    arrays_moved,
+    operation_bandwidth_gbs,
+    operation_bytes,
+)
+from ..kernels.minibude.metrics import gflops, ops_per_workitem, total_ops
+from ..kernels.stencil.metrics import (
+    effective_bandwidth_gbs,
+    effective_fetch_bytes,
+    effective_write_bytes,
+)
+from .portability import (
+    EfficiencyEntry,
+    PortabilityResult,
+    arithmetic_mean_phi,
+    efficiency,
+    harmonic_mean_phi,
+    portability_from_entries,
+)
+from .statistics import (
+    RunStatistics,
+    coefficient_of_variation,
+    discard_warmup,
+    summarize,
+)
+
+__all__ = [
+    "arrays_moved", "operation_bandwidth_gbs", "operation_bytes",
+    "gflops", "ops_per_workitem", "total_ops",
+    "effective_bandwidth_gbs", "effective_fetch_bytes", "effective_write_bytes",
+    "EfficiencyEntry", "PortabilityResult", "arithmetic_mean_phi", "efficiency",
+    "harmonic_mean_phi", "portability_from_entries",
+    "RunStatistics", "coefficient_of_variation", "discard_warmup", "summarize",
+]

@@ -1,0 +1,120 @@
+"""Performance-portability metric Φ (paper Eq. 4 and Table 5).
+
+The paper uses the "application efficiency" flavour of the Pennycook
+performance-portability metric: for each run the efficiency is the ratio of
+the portable implementation's figure of merit to the vendor baseline's, and
+Φ is the arithmetic mean of those efficiencies over the platform set (the
+harmonic-mean variant of the original metric is also provided, since the
+cited literature debates the choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["EfficiencyEntry", "PortabilityResult", "efficiency",
+           "arithmetic_mean_phi", "harmonic_mean_phi", "portability_from_entries"]
+
+
+def efficiency(portable_value: float, baseline_value: float,
+               *, higher_is_better: bool = True) -> float:
+    """Efficiency of a portable result relative to the vendor baseline.
+
+    For throughput-style metrics (bandwidth, GFLOP/s) higher is better and
+    ``e = portable / baseline``; for time-style metrics lower is better and
+    ``e = baseline / portable``.
+    """
+    if portable_value <= 0 or baseline_value <= 0:
+        raise ConfigurationError("efficiency requires positive metric values")
+    if higher_is_better:
+        return portable_value / baseline_value
+    return baseline_value / portable_value
+
+
+@dataclass(frozen=True)
+class EfficiencyEntry:
+    """One (workload configuration, platform) efficiency sample."""
+
+    workload: str
+    configuration: str
+    platform: str
+    efficiency: float
+
+
+@dataclass
+class PortabilityResult:
+    """Φ for one workload over a platform set."""
+
+    workload: str
+    entries: List[EfficiencyEntry] = field(default_factory=list)
+
+    @property
+    def platforms(self) -> List[str]:
+        return sorted({e.platform for e in self.entries})
+
+    @property
+    def phi(self) -> float:
+        """Arithmetic-mean Φ over all entries (the paper's definition)."""
+        return arithmetic_mean_phi([e.efficiency for e in self.entries])
+
+    @property
+    def phi_harmonic(self) -> float:
+        """Harmonic-mean Φ (Pennycook's original formulation)."""
+        return harmonic_mean_phi([e.efficiency for e in self.entries])
+
+    def by_platform(self) -> Dict[str, List[EfficiencyEntry]]:
+        out: Dict[str, List[EfficiencyEntry]] = {}
+        for e in self.entries:
+            out.setdefault(e.platform, []).append(e)
+        return out
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Rows in the layout of the paper's Table 5."""
+        rows = [
+            {"workload": self.workload, "configuration": e.configuration,
+             "platform": e.platform, "efficiency": e.efficiency}
+            for e in self.entries
+        ]
+        rows.append({"workload": self.workload, "configuration": "Φ",
+                     "platform": "all", "efficiency": self.phi})
+        return rows
+
+
+def arithmetic_mean_phi(efficiencies: Sequence[float]) -> float:
+    """Arithmetic mean of efficiencies (Eq. 4's "application efficiency")."""
+    vals = [float(v) for v in efficiencies]
+    if not vals:
+        raise ConfigurationError("cannot average an empty efficiency set")
+    return sum(vals) / len(vals)
+
+
+def harmonic_mean_phi(efficiencies: Sequence[float]) -> float:
+    """Harmonic mean of efficiencies; 0 if any platform is unsupported (e=0)."""
+    vals = [float(v) for v in efficiencies]
+    if not vals:
+        raise ConfigurationError("cannot average an empty efficiency set")
+    if any(v <= 0 for v in vals):
+        return 0.0
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def portability_from_entries(workload: str,
+                             samples: Iterable[Mapping]) -> PortabilityResult:
+    """Build a :class:`PortabilityResult` from dict-like samples.
+
+    Each sample needs ``configuration``, ``platform`` and ``efficiency`` keys.
+    """
+    result = PortabilityResult(workload)
+    for s in samples:
+        result.entries.append(EfficiencyEntry(
+            workload=workload,
+            configuration=str(s["configuration"]),
+            platform=str(s["platform"]),
+            efficiency=float(s["efficiency"]),
+        ))
+    if not result.entries:
+        raise ConfigurationError(f"no efficiency samples provided for {workload!r}")
+    return result

@@ -1,0 +1,81 @@
+"""Run statistics: warm-up handling, repeats and summary measures.
+
+The paper's methodology discards the first (JIT/warm-up) iteration and
+collects at least 100 repeats per configuration; figures show the raw spread.
+These helpers implement that protocol for the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["RunStatistics", "summarize", "discard_warmup",
+           "coefficient_of_variation"]
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Summary statistics of a set of repeated measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p05: float
+    p95: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Relative standard deviation (std / mean)."""
+        return self.std / self.mean if self.mean else float("nan")
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count, "mean": self.mean, "std": self.std,
+            "min": self.minimum, "max": self.maximum, "median": self.median,
+            "p05": self.p05, "p95": self.p95,
+        }
+
+
+def discard_warmup(samples: Sequence[float], warmup: int = 1) -> List[float]:
+    """Drop the first *warmup* samples (JIT / cache warm-up protocol)."""
+    if warmup < 0:
+        raise ConfigurationError("warmup count cannot be negative")
+    samples = list(samples)
+    if warmup >= len(samples):
+        raise ConfigurationError(
+            f"cannot discard {warmup} warm-up samples from {len(samples)} runs"
+        )
+    return samples[warmup:]
+
+
+def summarize(samples: Iterable[float], *, warmup: int = 0) -> RunStatistics:
+    """Summarise measurements, optionally discarding warm-up iterations."""
+    values = [float(v) for v in samples]
+    if warmup:
+        values = discard_warmup(values, warmup)
+    if not values:
+        raise ConfigurationError("cannot summarise an empty sample set")
+    arr = np.asarray(values, dtype=np.float64)
+    return RunStatistics(
+        count=int(arr.size),
+        mean=float(np.mean(arr)),
+        std=float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+        median=float(np.median(arr)),
+        p05=float(np.percentile(arr, 5)),
+        p95=float(np.percentile(arr, 95)),
+    )
+
+
+def coefficient_of_variation(samples: Iterable[float]) -> float:
+    """Relative standard deviation of a sample set."""
+    return summarize(samples).coefficient_of_variation

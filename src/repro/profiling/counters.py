@@ -1,0 +1,113 @@
+"""Profiling counters collected from compiled kernels and the timing model.
+
+The paper's Tables 2 and 3 report Nsight Compute metrics: kernel duration,
+compute (SM) and memory throughput percentages, arithmetic intensity at the
+L1/L2/DRAM levels, achieved FLOP/s, registers per thread and global
+load/store counts.  :class:`CounterSet` is the device-neutral container for
+those quantities and :func:`collect_counters` produces one from a backend run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..backends.base import BackendRun
+from ..core.compiler import CompiledKernel, Opcode
+from ..gpu.timing import TimingBreakdown, estimate_cache_traffic
+
+__all__ = ["CounterSet", "collect_counters"]
+
+
+@dataclass
+class CounterSet:
+    """One kernel's worth of profiling counters."""
+
+    kernel_name: str
+    backend_name: str
+    gpu_name: str
+    duration_ms: float
+    compute_throughput_pct: float
+    memory_throughput_pct: float
+    #: arithmetic intensity (FLOP/byte) at each cache level
+    l1_arithmetic_intensity: float
+    l2_arithmetic_intensity: float
+    dram_arithmetic_intensity: float
+    #: achieved floating-point rate in FLOP/s
+    flops_per_second: float
+    registers_per_thread: int
+    #: global loads / stores per thread (element granularity)
+    load_global_per_thread: float
+    store_global_per_thread: float
+    #: total traffic in bytes at each level
+    l1_bytes: float
+    l2_bytes: float
+    dram_bytes: float
+    total_flops: float
+    atomic_ops: float = 0.0
+    occupancy: float = 0.0
+    spilled: bool = False
+    uses_constant_memory: bool = False
+    instruction_mix: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to a plain dict (used by CSV emission and reports)."""
+        out = {
+            "kernel": self.kernel_name,
+            "backend": self.backend_name,
+            "gpu": self.gpu_name,
+            "duration_ms": self.duration_ms,
+            "compute_throughput_pct": self.compute_throughput_pct,
+            "memory_throughput_pct": self.memory_throughput_pct,
+            "l1_ai": self.l1_arithmetic_intensity,
+            "l2_ai": self.l2_arithmetic_intensity,
+            "dram_ai": self.dram_arithmetic_intensity,
+            "flops_per_second": self.flops_per_second,
+            "registers": self.registers_per_thread,
+            "ldg": self.load_global_per_thread,
+            "stg": self.store_global_per_thread,
+            "occupancy": self.occupancy,
+            "atomics": self.atomic_ops,
+        }
+        return out
+
+
+def collect_counters(run: BackendRun) -> CounterSet:
+    """Build a :class:`CounterSet` from a compiled+timed backend run."""
+    compiled: CompiledKernel = run.compiled
+    timing: TimingBreakdown = run.timing
+    model = compiled.model
+
+    cache = estimate_cache_traffic(compiled, timing.active_threads)
+    l1_bytes = cache["l1_bytes"]
+    l2_bytes = cache["l2_bytes"]
+    dram_bytes = timing.dram_bytes
+    flops = timing.raw_flops
+
+    def _ai(bytes_level: float) -> float:
+        return flops / bytes_level if bytes_level > 0 else float("inf")
+
+    return CounterSet(
+        kernel_name=compiled.kernel_name,
+        backend_name=compiled.backend_name,
+        gpu_name=run.gpu.name,
+        duration_ms=timing.kernel_time_ms,
+        compute_throughput_pct=timing.compute_throughput_pct,
+        memory_throughput_pct=timing.memory_throughput_pct,
+        l1_arithmetic_intensity=_ai(l1_bytes),
+        l2_arithmetic_intensity=_ai(l2_bytes),
+        dram_arithmetic_intensity=_ai(dram_bytes),
+        flops_per_second=flops / timing.kernel_time_s if timing.kernel_time_s > 0 else 0.0,
+        registers_per_thread=compiled.registers_per_thread,
+        load_global_per_thread=model.loads_global,
+        store_global_per_thread=model.stores_global,
+        l1_bytes=l1_bytes,
+        l2_bytes=l2_bytes,
+        dram_bytes=dram_bytes,
+        total_flops=flops,
+        atomic_ops=timing.atomic_ops,
+        occupancy=timing.occupancy.occupancy,
+        spilled=compiled.spilled,
+        uses_constant_memory=compiled.uses_constant_memory,
+        instruction_mix=dict(compiled.instruction_mix),
+    )

@@ -1,0 +1,66 @@
+"""rocprof-style CSV output for AMD runs.
+
+The paper notes that profiling Mojo code with AMD's ``rocprof`` was only
+possible for AOT-compiled binaries and that no officially supported Mojo
+tooling existed; the HIP baselines, however, are profiled with rocprof's CSV
+output.  This module produces the equivalent CSV rows from simulated runs so
+AMD-side experiments have a profiler artifact too.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..backends.base import BackendRun
+from .counters import CounterSet, collect_counters
+
+__all__ = ["RocprofReport"]
+
+#: column order of the emitted CSV (subset of rocprof's kernel trace columns)
+_CSV_COLUMNS = (
+    "KernelName", "gpu", "Backend", "DurationNs", "VGPRs", "LDSBytes",
+    "FetchSizeBytes", "WriteSizeBytes", "MemUnitBusyPct", "VALUUtilizationPct",
+    "AtomicOps",
+)
+
+
+@dataclass
+class RocprofReport:
+    """Accumulates kernel rows and serialises them as rocprof-like CSV."""
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add_run(self, run: BackendRun) -> Dict[str, object]:
+        """Profile a run and append a CSV row for it."""
+        counters: CounterSet = collect_counters(run)
+        model = run.compiled.model
+        sizeof = model.dtype.sizeof
+        active = run.timing.active_threads
+        row = {
+            "KernelName": counters.kernel_name,
+            "gpu": counters.gpu_name,
+            "Backend": counters.backend_name,
+            "DurationNs": int(counters.duration_ms * 1e6),
+            "VGPRs": counters.registers_per_thread,
+            "LDSBytes": run.compiled.shared_bytes_per_block,
+            "FetchSizeBytes": int(model.loads_global * sizeof * active),
+            "WriteSizeBytes": int(model.stores_global * sizeof * active),
+            "MemUnitBusyPct": round(counters.memory_throughput_pct, 1),
+            "VALUUtilizationPct": round(counters.compute_throughput_pct, 1),
+            "AtomicOps": int(counters.atomic_ops),
+        }
+        self.rows.append(row)
+        return row
+
+    def to_csv(self) -> str:
+        """Serialise all rows as a CSV string."""
+        buf = io.StringIO()
+        buf.write(",".join(_CSV_COLUMNS) + "\n")
+        for row in self.rows:
+            buf.write(",".join(str(row.get(col, "")) for col in _CSV_COLUMNS) + "\n")
+        return buf.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,145 @@
+"""Tests for the Mojo/CUDA/HIP backend models."""
+
+import pytest
+
+from repro.backends import (
+    CUDABackend,
+    HIPBackend,
+    MojoBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+    vendor_baseline_for,
+)
+from repro.backends.base import Backend
+from repro.core.dtypes import DType
+from repro.core.errors import ConfigurationError, UnsupportedBackendError
+from repro.core.kernel import KernelModel, LaunchConfig
+
+
+def _model(**kw):
+    defaults = dict(name="k", dtype=DType.float64, loads_global=2,
+                    stores_global=1, flops=8, scalar_args=2, working_values=16)
+    defaults.update(kw)
+    return KernelModel(**defaults)
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert set(list_backends()) == {"mojo", "cuda", "hip"}
+
+    def test_lookup_and_passthrough(self):
+        mojo = get_backend("mojo")
+        assert isinstance(mojo, MojoBackend)
+        assert get_backend(mojo) is mojo
+        assert get_backend("MOJO") is mojo
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("sycl")
+
+    def test_vendor_baseline(self):
+        assert isinstance(vendor_baseline_for("h100"), CUDABackend)
+        assert isinstance(vendor_baseline_for("mi300a"), HIPBackend)
+
+    def test_register_custom(self):
+        class Custom(Backend):
+            name = "custom"
+        register_backend(Custom())
+        assert get_backend("custom").name == "custom"
+
+
+class TestVendorSupport:
+    def test_mojo_supports_both_vendors(self):
+        mojo = get_backend("mojo")
+        assert mojo.supports("h100") and mojo.supports("mi300a")
+        assert mojo.portable
+
+    def test_cuda_is_nvidia_only(self):
+        cuda = get_backend("cuda")
+        assert cuda.supports("h100") and not cuda.supports("mi300a")
+        with pytest.raises(UnsupportedBackendError):
+            cuda.compile(_model(), "mi300a")
+
+    def test_hip_is_amd_only(self):
+        hip = get_backend("hip")
+        assert hip.supports("mi300a") and not hip.supports("h100")
+        with pytest.raises(UnsupportedBackendError):
+            hip.time(_model(), "h100", LaunchConfig.for_elements(1024, 256))
+
+    def test_fast_math_availability(self):
+        assert get_backend("cuda").fast_math_available
+        assert get_backend("hip").fast_math_available
+        assert not get_backend("mojo").fast_math_available
+
+
+class TestCompilationDifferences:
+    """The lowering differences that drive the paper's Tables 2-3 / Figure 5."""
+
+    def _compile(self, backend, gpu="h100", **model_kw):
+        launch = LaunchConfig.for_elements(2 ** 20, 1024)
+        return get_backend(backend).compile(_model(**model_kw), gpu, launch=launch)
+
+    def test_mojo_uses_more_registers_than_cuda(self):
+        stencil = dict(loads_global=7, stores_global=1, flops=13, working_values=18)
+        mojo = self._compile("mojo", **stencil)
+        cuda = self._compile("cuda", **stencil)
+        assert mojo.registers_per_thread > cuda.registers_per_thread
+
+    def test_mojo_registers_match_table2(self):
+        stencil = dict(loads_global=7, stores_global=1, flops=13, working_values=18)
+        assert self._compile("mojo", **stencil).registers_per_thread == 24
+        assert self._compile("cuda", **stencil).registers_per_thread == 21
+
+    def test_mojo_promotes_constants(self):
+        mojo = self._compile("mojo")
+        cuda = self._compile("cuda")
+        assert mojo.uses_constant_memory and not cuda.uses_constant_memory
+        assert mojo.instruction_mix["LDC"] < cuda.instruction_mix["LDC"]
+
+    def test_mojo_fast_math_request_ignored(self):
+        launch = LaunchConfig.for_elements(2 ** 20, 1024)
+        compiled = get_backend("mojo").compile(_model(divides=10), "h100",
+                                               launch=launch, fast_math=True)
+        assert compiled.fast_math is False
+
+    def test_cuda_fast_math_honoured(self):
+        launch = LaunchConfig.for_elements(2 ** 20, 1024)
+        compiled = get_backend("cuda").compile(_model(divides=10), "h100",
+                                               launch=launch, fast_math=True)
+        assert compiled.fast_math is True
+
+    def test_mojo_atomics_cas_on_amd_native_on_nvidia(self):
+        nvidia = get_backend("mojo").compile(_model(atomics=6), "h100")
+        amd = get_backend("mojo").compile(_model(atomics=6), "mi300a")
+        assert nvidia.atomic_mode == "native"
+        assert amd.atomic_mode == "cas"
+
+    def test_vendor_baselines_use_native_atomics(self):
+        assert get_backend("cuda").compile(_model(atomics=6), "h100").atomic_mode == "native"
+        assert get_backend("hip").compile(_model(atomics=6), "mi300a").atomic_mode == "native"
+
+
+class TestTiming:
+    def test_time_returns_backend_run(self, h100):
+        run = get_backend("mojo").time(_model(), h100,
+                                       LaunchConfig.for_elements(2 ** 22, 1024))
+        assert run.backend_name == "mojo"
+        assert run.kernel_time_ms > 0
+        assert run.achieved_bandwidth_gbs > 0
+        assert run.gpu.name == "h100"
+
+    def test_block_size_heuristics(self):
+        for backend in ("mojo", "cuda"):
+            be = get_backend(backend)
+            assert be.default_block_size("h100", kernel_kind="stencil") == 512
+            assert be.default_block_size("h100") == 1024
+
+    def test_dot_grid_heuristics_differ(self):
+        n = 2 ** 25
+        cuda_blocks = get_backend("cuda").dot_num_blocks("h100", n, 1024)
+        mojo_blocks = get_backend("mojo").dot_num_blocks("h100", n, 1024)
+        assert cuda_blocks == 4 * 132        # multiprocessor-count heuristic
+        assert mojo_blocks != cuda_blocks    # portable heuristic
+        hip_blocks = get_backend("hip").dot_num_blocks("mi300a", n, 1024)
+        assert hip_blocks == 4 * 228

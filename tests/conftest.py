@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.device import DeviceContext
+from repro.gpu.specs import get_gpu
+
+
+@pytest.fixture
+def h100():
+    """The NVIDIA H100 spec used throughout the paper."""
+    return get_gpu("h100")
+
+
+@pytest.fixture
+def mi300a():
+    """The AMD MI300A spec used throughout the paper."""
+    return get_gpu("mi300a")
+
+
+@pytest.fixture
+def ctx():
+    """A fresh simulated device context on the H100."""
+    return DeviceContext("h100")
+
+
+@pytest.fixture
+def amd_ctx():
+    """A fresh simulated device context on the MI300A."""
+    return DeviceContext("mi300a")
+
+
+@pytest.fixture
+def rng():
+    """Seeded NumPy generator for reproducible test data."""
+    return np.random.default_rng(20250614)

@@ -1,0 +1,95 @@
+"""Tests for atomic operations on simulated device memory."""
+
+import numpy as np
+import pytest
+
+from repro.core.atomics import Atomic, AtomicView, atomic_add, atomic_max, atomic_min
+from repro.core.dtypes import DType
+from repro.core.errors import LaunchError
+from repro.core.layout import Layout, LayoutTensor
+
+
+class TestAtomicOnArrays:
+    def test_fetch_add_returns_old(self):
+        arr = np.zeros(4)
+        old = Atomic.fetch_add(arr, 1, 5.0)
+        assert old == 0.0
+        assert arr[1] == 5.0
+
+    def test_fetch_add_accumulates(self):
+        arr = np.zeros(2)
+        for _ in range(10):
+            Atomic.fetch_add(arr, 0, 1.5)
+        assert arr[0] == pytest.approx(15.0)
+
+    def test_fetch_max(self):
+        arr = np.array([3.0])
+        assert Atomic.fetch_max(arr, 0, 10.0) == 3.0
+        assert arr[0] == 10.0
+        Atomic.fetch_max(arr, 0, 2.0)
+        assert arr[0] == 10.0
+
+    def test_fetch_min(self):
+        arr = np.array([3.0])
+        Atomic.fetch_min(arr, 0, -1.0)
+        assert arr[0] == -1.0
+
+    def test_compare_exchange_success(self):
+        arr = np.array([7.0])
+        assert Atomic.compare_exchange(arr, 0, 7.0, 9.0) is True
+        assert arr[0] == 9.0
+
+    def test_compare_exchange_failure(self):
+        arr = np.array([7.0])
+        assert Atomic.compare_exchange(arr, 0, 1.0, 9.0) is False
+        assert arr[0] == 7.0
+
+    def test_out_of_bounds(self):
+        with pytest.raises(LaunchError):
+            Atomic.fetch_add(np.zeros(4), 10, 1.0)
+
+    def test_functional_aliases(self):
+        arr = np.zeros(1)
+        atomic_add(arr, 0, 2.0)
+        atomic_max(arr, 0, 5.0)
+        atomic_min(arr, 0, 1.0)
+        assert arr[0] == 1.0
+
+
+class TestAtomicOnTensors:
+    def _fock(self, n=3):
+        layout = Layout.row_major(n, n)
+        storage = np.zeros(layout.size)
+        return LayoutTensor(DType.float64, layout, storage), storage
+
+    def test_tuple_index(self):
+        fock, storage = self._fock()
+        Atomic.fetch_add(fock, (1, 2), 4.0)
+        assert storage[1 * 3 + 2] == 4.0
+
+    def test_flat_index(self):
+        fock, storage = self._fock()
+        Atomic.fetch_add(fock, 4, 2.0)
+        assert storage[4] == 2.0
+
+    def test_symmetric_accumulation(self):
+        fock, _ = self._fock()
+        Atomic.fetch_add(fock, (0, 1), 1.0)
+        Atomic.fetch_add(fock, (1, 0), 1.0)
+        assert fock[0, 1] == fock[1, 0] == 1.0
+
+    def test_tuple_index_on_plain_array_rejected(self):
+        with pytest.raises(LaunchError):
+            Atomic.fetch_add(np.zeros(9), (1, 2), 1.0)
+
+
+class TestAtomicView:
+    def test_view_form(self):
+        arr = np.zeros(8)
+        view = AtomicView(arr, 3)
+        old = Atomic.fetch_add(view, 2.5)
+        assert old == 0.0 and arr[3] == 2.5
+
+    def test_missing_value_raises(self):
+        with pytest.raises(LaunchError):
+            Atomic.fetch_add(np.zeros(4), 1)

@@ -1,0 +1,157 @@
+"""Tests for DeviceContext and DeviceBuffer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeviceContext,
+    DType,
+    Layout,
+    block_dim,
+    block_idx,
+    kernel,
+    thread_idx,
+)
+from repro.core.errors import DeviceError, OutOfMemoryError
+from repro.core.kernel import KernelModel
+
+
+@kernel
+def _fill(tensor, value, n):
+    i = block_idx.x * block_dim.x + thread_idx.x
+    if i < n:
+        tensor[i] = value
+
+
+@kernel
+def _scale(tensor, factor, n):
+    i = block_idx.x * block_dim.x + thread_idx.x
+    if i < n:
+        tensor[i] = tensor[i] * factor
+
+
+class TestDeviceBuffer:
+    def test_allocation_and_fill(self, ctx):
+        buf = ctx.enqueue_create_buffer(DType.float32, 100)
+        buf.fill(3.0)
+        assert np.all(buf.copy_to_host() == 3.0)
+
+    def test_copy_from_host_roundtrip(self, ctx, rng):
+        data = rng.normal(size=64)
+        buf = ctx.enqueue_create_buffer(DType.float64, 64)
+        buf.copy_from_host(data)
+        np.testing.assert_allclose(buf.copy_to_host(), data)
+
+    def test_copy_from_host_wrong_size(self, ctx):
+        buf = ctx.enqueue_create_buffer(DType.float64, 10)
+        with pytest.raises(DeviceError):
+            buf.copy_from_host(np.zeros(5))
+
+    def test_copy_to_host_into_out(self, ctx):
+        buf = ctx.enqueue_create_buffer(DType.float64, 8)
+        buf.fill(2.0)
+        out = np.zeros(8)
+        buf.copy_to_host(out)
+        assert np.all(out == 2.0)
+
+    def test_tensor_view(self, ctx):
+        buf = ctx.enqueue_create_buffer(DType.float64, 12)
+        t = buf.tensor(Layout.row_major(3, 4))
+        t[2, 3] = 5.0
+        assert buf.array[11] == 5.0
+
+    def test_free_and_double_free(self, ctx):
+        buf = ctx.enqueue_create_buffer(DType.float64, 8)
+        buf.free()
+        with pytest.raises(DeviceError):
+            buf.free()
+
+    def test_use_after_free(self, ctx):
+        buf = ctx.enqueue_create_buffer(DType.float64, 8)
+        buf.free()
+        with pytest.raises(DeviceError):
+            buf.fill(1.0)
+
+    def test_len_and_nbytes(self, ctx):
+        buf = ctx.enqueue_create_buffer(DType.float32, 10)
+        assert len(buf) == 10
+        assert buf.nbytes == 40
+
+    def test_out_of_memory(self, ctx):
+        huge = ctx.spec.memory_bytes  # more than the reserved-capacity allows
+        with pytest.raises(OutOfMemoryError):
+            ctx.enqueue_create_buffer(DType.float64, huge // 8 + 1)
+
+
+class TestDeviceContext:
+    def test_kernel_launch_produces_correct_result(self, ctx):
+        n = 100
+        buf = ctx.enqueue_create_buffer(DType.float32, n)
+        t = buf.tensor()
+        ctx.enqueue_function(_fill, t, 7.0, n, grid_dim=4, block_dim=32)
+        ctx.synchronize()
+        assert np.all(buf.copy_to_host() == 7.0)
+
+    def test_lazy_mode_defers_until_synchronize(self):
+        ctx = DeviceContext("h100", eager=False)
+        n = 16
+        buf = ctx.enqueue_create_buffer(DType.float32, n)
+        t = buf.tensor()
+        ctx.enqueue_function(_fill, t, 1.0, n, grid_dim=1, block_dim=16)
+        assert np.all(buf.array == 0.0)        # not yet executed
+        ctx.synchronize()
+        assert np.all(buf.array == 1.0)
+
+    def test_multiple_kernels_in_order(self, ctx):
+        n = 32
+        buf = ctx.enqueue_create_buffer(DType.float64, n)
+        t = buf.tensor()
+        ctx.enqueue_function(_fill, t, 2.0, n, grid_dim=2, block_dim=16)
+        ctx.enqueue_function(_scale, t, 3.0, n, grid_dim=2, block_dim=16)
+        ctx.synchronize()
+        assert np.all(buf.copy_to_host() == 6.0)
+
+    def test_timeline_records_kernels_and_transfers(self, ctx):
+        n = 16
+        buf = ctx.enqueue_create_buffer(DType.float32, n)
+        buf.copy_from_host(np.zeros(n))
+        t = buf.tensor()
+        ctx.enqueue_function(_fill, t, 1.0, n, grid_dim=1, block_dim=16)
+        buf.copy_to_host()
+        kinds = [e.kind for e in ctx.timeline]
+        assert kinds.count("kernel") == 1
+        assert "h2d" in kinds and "d2h" in kinds
+        assert ctx.kernels_launched == 1
+
+    def test_modelled_time_recorded_with_model(self, ctx):
+        n = 1024
+        buf = ctx.enqueue_create_buffer(DType.float64, n)
+        t = buf.tensor()
+        model = KernelModel(name="fill", dtype=DType.float64, loads_global=0,
+                            stores_global=1, flops=0)
+        ctx.enqueue_function(_fill, t, 1.0, n, grid_dim=4, block_dim=256,
+                             model=model)
+        ctx.synchronize()
+        assert ctx.kernel_time_ms > 0
+
+    def test_memory_summary_tracks_allocations(self, ctx):
+        before = ctx.memory_summary["bytes_in_use"]
+        buf = ctx.enqueue_create_buffer(DType.float64, 1000)
+        assert ctx.memory_summary["bytes_in_use"] == before + 8000
+        buf.free()
+        assert ctx.memory_summary["bytes_in_use"] == before
+
+    def test_create_tensor_convenience(self, ctx):
+        t = ctx.create_tensor(DType.float64, Layout.row_major(4, 4))
+        t[1, 1] = 3.0
+        assert t[1, 1] == 3.0
+
+    def test_reset_timeline(self, ctx):
+        ctx.enqueue_create_buffer(DType.float32, 8).copy_to_host()
+        ctx.reset_timeline()
+        assert ctx.timeline == []
+
+    def test_unknown_gpu_rejected(self):
+        from repro.core.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            DeviceContext("rtx9090")

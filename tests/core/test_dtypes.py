@@ -1,0 +1,86 @@
+"""Tests for the DType registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtypes import DType, PRECISION_NAMES, dtype_from_any
+from repro.core.errors import DTypeError
+
+
+class TestDTypeBasics:
+    def test_float64_size(self):
+        assert DType.float64.sizeof == 8
+
+    def test_float32_size(self):
+        assert DType.float32.sizeof == 4
+
+    def test_int32_size(self):
+        assert DType.int32.sizeof == 4
+
+    def test_bits(self):
+        assert DType.float64.bits == 64
+        assert DType.int8.bits == 8
+
+    def test_kind_flags(self):
+        assert DType.float32.is_float
+        assert not DType.float32.is_integer
+        assert DType.int64.is_integer
+        assert not DType.int64.is_float
+
+    def test_registry_is_frozen_instances(self):
+        with pytest.raises(Exception):
+            DType.float32.sizeof = 16
+
+    def test_all_contains_known_types(self):
+        names = {d.name for d in DType.all()}
+        assert {"float32", "float64", "int32", "int64"} <= names
+
+    def test_precision_names(self):
+        assert PRECISION_NAMES == ("float32", "float64")
+
+
+class TestDTypeLookup:
+    @pytest.mark.parametrize("name,expected", [
+        ("float32", DType.float32),
+        ("fp64", DType.float64),
+        ("f32", DType.float32),
+        ("double", DType.float64),
+        ("single", DType.float32),
+        ("FLOAT64", DType.float64),
+    ])
+    def test_from_name_aliases(self, name, expected):
+        assert DType.from_name(name) is expected
+
+    def test_from_name_unknown_raises(self):
+        with pytest.raises(DTypeError):
+            DType.from_name("quad128")
+
+    def test_from_numpy_roundtrip(self):
+        for dt in (DType.float32, DType.float64, DType.int32, DType.uint64):
+            assert DType.from_numpy(dt.to_numpy()) is dt
+
+    def test_from_numpy_unknown_raises(self):
+        with pytest.raises(DTypeError):
+            DType.from_numpy(np.dtype("complex128"))
+
+    def test_to_numpy_matches_size(self):
+        for dt in DType.all():
+            assert np.dtype(dt.to_numpy()).itemsize == dt.sizeof
+
+
+class TestDtypeFromAny:
+    def test_passthrough(self):
+        assert dtype_from_any(DType.float64) is DType.float64
+
+    def test_string(self):
+        assert dtype_from_any("fp32") is DType.float32
+
+    def test_numpy_dtype(self):
+        assert dtype_from_any(np.float64) is DType.float64
+
+    def test_numpy_dtype_object(self):
+        assert dtype_from_any(np.dtype("int32")) is DType.int32
+
+    def test_invalid_raises(self):
+        with pytest.raises(DTypeError):
+            dtype_from_any(object())

@@ -1,0 +1,130 @@
+"""Tests for Kernel, LaunchConfig and KernelModel."""
+
+import pytest
+
+from repro.core.dtypes import DType
+from repro.core.errors import LaunchError
+from repro.core.kernel import Kernel, KernelModel, LaunchConfig, MemoryPattern, kernel
+
+
+class TestLaunchConfig:
+    def test_make_from_ints(self):
+        cfg = LaunchConfig.make(10, 128)
+        assert cfg.num_blocks == 10
+        assert cfg.threads_per_block == 128
+        assert cfg.total_threads == 1280
+
+    def test_make_from_tuples(self):
+        cfg = LaunchConfig.make((4, 2, 1), (16, 4, 1))
+        assert cfg.grid_dim.total == 8
+        assert cfg.block_dim.total == 64
+
+    def test_for_elements(self):
+        cfg = LaunchConfig.for_elements(1000, 256)
+        assert cfg.num_blocks == 4
+        assert cfg.total_threads >= 1000
+
+    def test_for_elements_exact(self):
+        cfg = LaunchConfig.for_elements(1024, 256)
+        assert cfg.num_blocks == 4
+
+    def test_for_elements_invalid(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig.for_elements(0, 256)
+
+    def test_block_too_large(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig.make(1, 2048)
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig.make(0, 128)
+
+
+class TestKernelModel:
+    def _model(self, **kw):
+        defaults = dict(name="k", dtype=DType.float64, loads_global=2,
+                        stores_global=1, flops=4)
+        defaults.update(kw)
+        return KernelModel(**defaults)
+
+    def test_bytes_per_thread(self):
+        m = self._model()
+        assert m.bytes_per_thread() == 3 * 8
+
+    def test_total_bytes_scales_with_threads(self):
+        m = self._model()
+        assert m.total_bytes(1000) == 24 * 1000
+
+    def test_total_flops_weights_specials(self):
+        plain = self._model()
+        with_div = self._model(divides=1)
+        assert with_div.total_flops(10) > plain.total_flops(10)
+
+    def test_arithmetic_intensity(self):
+        m = self._model(loads_global=1, stores_global=1, flops=8, dtype=DType.float32)
+        assert m.arithmetic_intensity() == pytest.approx(1.0)
+
+    def test_arithmetic_intensity_no_traffic(self):
+        m = self._model(loads_global=0, stores_global=0)
+        assert m.arithmetic_intensity() == float("inf")
+
+    def test_invalid_pattern(self):
+        with pytest.raises(LaunchError):
+            self._model(memory_pattern="zigzag")
+
+    def test_invalid_active_fraction(self):
+        with pytest.raises(LaunchError):
+            self._model(active_fraction=0.0)
+        with pytest.raises(LaunchError):
+            self._model(active_fraction=1.5)
+
+    def test_scaled_returns_copy(self):
+        m = self._model()
+        m2 = m.scaled(flops=100)
+        assert m2.flops == 100 and m.flops == 4
+        assert m2.loads_global == m.loads_global
+
+    def test_memory_pattern_constants(self):
+        assert set(MemoryPattern.ALL) == {"stride1", "stencil3d", "strided", "gather"}
+
+
+class TestKernelDecorator:
+    def test_bare_decorator(self):
+        @kernel
+        def my_kernel(x):
+            return x
+
+        assert isinstance(my_kernel, Kernel)
+        assert my_kernel.name == "my_kernel"
+        assert my_kernel(3) == 3
+
+    def test_decorator_with_name(self):
+        @kernel(name="custom")
+        def body():
+            pass
+
+        assert body.name == "custom"
+
+    def test_decorator_with_model_builder(self):
+        def builder(n):
+            return KernelModel(name="m", dtype=DType.float32, loads_global=1,
+                               stores_global=1, flops=n)
+
+        @kernel(model=builder)
+        def body():
+            pass
+
+        assert body.model(n=5).flops == 5
+
+    def test_model_without_builder_raises(self):
+        @kernel
+        def body():
+            pass
+
+        with pytest.raises(LaunchError):
+            body.model()
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(LaunchError):
+            Kernel(42)

@@ -1,0 +1,87 @@
+"""Integration tests: every paper table/figure experiment runs and passes
+its shape checks against the paper's reported results."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, list_experiments, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(list_experiments()) == {
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "table2", "table3", "table4", "table5",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+    def test_modules_expose_metadata(self):
+        for key, module in EXPERIMENTS.items():
+            assert module.EXPERIMENT_ID == key
+            assert isinstance(module.DESCRIPTION, str) and module.DESCRIPTION
+
+
+class TestFigureExperiments:
+    def test_fig2_roofline(self):
+        result = run_experiment("fig2")
+        assert result.all_passed
+        assert len(result.tables[0]) == 4
+
+    def test_fig3_stencil(self):
+        result = run_experiment("fig3")
+        assert result.all_passed
+        effs = result.tables[0].column("efficiency")
+        assert all(0.5 < e <= 1.2 for e in effs)
+
+    def test_fig4_babelstream(self):
+        result = run_experiment("fig4")
+        assert result.all_passed
+        assert len(result.tables[0]) == 10   # 5 ops x 2 platforms
+
+    def test_fig5_sass(self):
+        result = run_experiment("fig5")
+        assert result.all_passed
+        assert result.extra_text              # the side-by-side listing
+
+    def test_fig6_minibude_h100(self):
+        result = run_experiment("fig6")
+        assert result.all_passed
+        assert len(result.tables) == 2        # wg=8 and wg=64 panels
+
+    def test_fig7_minibude_mi300a(self):
+        result = run_experiment("fig7")
+        assert result.all_passed
+        assert result.experiment_id == "fig7"
+
+
+class TestTableExperiments:
+    def test_table2(self):
+        result = run_experiment("table2")
+        assert result.all_passed
+
+    def test_table3(self):
+        result = run_experiment("table3")
+        assert result.all_passed
+
+    def test_table4(self):
+        result = run_experiment("table4")
+        assert result.all_passed
+        rows = result.tables[0].rows
+        assert {row["natoms"] for row in rows} == {64, 128, 256}
+
+    def test_table5(self):
+        result = run_experiment("table5")
+        assert result.all_passed
+        phi_rows = [r for r in result.tables[0].rows if r["configuration"] == "Φ"]
+        assert len(phi_rows) == 4
+
+
+class TestRendering:
+    def test_results_render_to_text_and_markdown(self):
+        result = run_experiment("fig5")
+        assert "fig5" in result.to_text()
+        assert result.to_markdown().startswith("## fig5")
+        assert result.to_json()

@@ -1,0 +1,132 @@
+"""Tests for the functional kernel executor (sequential and cooperative)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DType, barrier, block_dim, block_idx, grid_dim, kernel, shared_array, thread_idx
+from repro.core.errors import LaunchError
+from repro.core.kernel import LaunchConfig
+from repro.gpu.executor import ExecutionCounters, KernelExecutor, kernel_uses_barrier
+
+
+@kernel
+def _global_id_kernel(out, n):
+    i = block_idx.x * block_dim.x + thread_idx.x
+    if i < n:
+        out[i] = i
+
+
+@kernel
+def _block_sum_kernel(a, sums, n, tb):
+    tile = shared_array(tb, DType.float64, key="tile")
+    i = block_idx.x * block_dim.x + thread_idx.x
+    tid = thread_idx.x
+    tile[tid] = a[i] if i < n else 0.0
+    offset = block_dim.x // 2
+    while offset > 0:
+        barrier()
+        if tid < offset:
+            tile[tid] += tile[tid + offset]
+        offset //= 2
+    barrier()
+    if tid == 0:
+        sums[block_idx.x] = tile[0]
+
+
+@kernel
+def _kernel_3d(out, nx, ny, nz):
+    x = block_idx.x * block_dim.x + thread_idx.x
+    y = block_idx.y * block_dim.y + thread_idx.y
+    z = block_idx.z * block_dim.z + thread_idx.z
+    if x < nx and y < ny and z < nz:
+        out[z * ny * nx + y * nx + x] += 1
+
+
+class TestSequentialExecution:
+    def test_every_thread_runs_once(self):
+        n = 64
+        out = np.full(n, -1.0)
+        result = KernelExecutor().launch(_global_id_kernel, (out, n),
+                                         LaunchConfig.make(4, 16))
+        np.testing.assert_array_equal(out, np.arange(n, dtype=float))
+        assert result.threads_run == 64
+        assert result.blocks_run == 4
+        assert result.mode == "sequential"
+
+    def test_3d_grid_covers_domain_exactly_once(self):
+        nx, ny, nz = 6, 5, 4
+        out = np.zeros(nx * ny * nz)
+        launch = LaunchConfig.make((2, 3, 2), (4, 2, 2))
+        KernelExecutor().launch(_kernel_3d, (out, nx, ny, nz), launch)
+        assert np.all(out == 1.0)
+
+    def test_guard_threads_do_nothing(self):
+        n = 10
+        out = np.full(16, -1.0)
+        KernelExecutor().launch(_global_id_kernel, (out, n), LaunchConfig.make(1, 16))
+        assert np.all(out[n:] == -1.0)
+
+    def test_plain_callable_accepted(self):
+        out = np.zeros(4)
+
+        def body(buf):
+            buf[thread_idx.x] = 2.0
+
+        KernelExecutor().launch(body, (out,), LaunchConfig.make(1, 4))
+        assert np.all(out == 2.0)
+
+
+class TestCooperativeExecution:
+    def test_block_reduction_matches_numpy(self, rng):
+        n, tb, blocks = 64, 16, 4
+        a = rng.normal(size=n)
+        sums = np.zeros(blocks)
+        result = KernelExecutor().launch(
+            _block_sum_kernel, (a, sums, n, tb), LaunchConfig.make(blocks, tb))
+        assert result.mode == "cooperative"
+        expected = a.reshape(blocks, tb).sum(axis=1)
+        np.testing.assert_allclose(sums, expected, rtol=1e-12)
+        assert result.counters.barriers > 0
+        assert result.shared_bytes_per_block == tb * 8
+
+    def test_forced_sequential_mode(self):
+        out = np.zeros(8)
+        result = KernelExecutor().launch(_global_id_kernel, (out, 8),
+                                         LaunchConfig.make(1, 8), mode="sequential")
+        assert result.mode == "sequential"
+
+    def test_kernel_error_is_surfaced(self):
+        @kernel
+        def bad_kernel(a):
+            barrier()
+            raise ValueError("boom")
+
+        with pytest.raises(LaunchError):
+            KernelExecutor().launch(bad_kernel, (np.zeros(2),),
+                                    LaunchConfig.make(1, 2), mode="cooperative")
+
+
+class TestExecutorLimits:
+    def test_total_thread_limit(self):
+        small = KernelExecutor(max_total_threads=100)
+        with pytest.raises(LaunchError):
+            small.launch(_global_id_kernel, (np.zeros(1000), 1000),
+                         LaunchConfig.make(10, 100))
+
+    def test_unknown_mode(self):
+        with pytest.raises(LaunchError):
+            KernelExecutor().launch(_global_id_kernel, (np.zeros(4), 4),
+                                    LaunchConfig.make(1, 4), mode="warp")
+
+    def test_barrier_detection_heuristic(self):
+        assert kernel_uses_barrier(_block_sum_kernel) is True
+        assert kernel_uses_barrier(_global_id_kernel) is False
+
+    def test_counters_dict(self):
+        counters = ExecutionCounters()
+        counters.record_atomic()
+        counters.record_barrier()
+        counters.record_thread()
+        counters.record_block()
+        assert counters.as_dict() == {"threads_run": 1, "blocks_run": 1,
+                                      "barriers": 1, "atomics": 1}

@@ -1,0 +1,91 @@
+"""Tests for device memory tracking and the transfer model."""
+
+import pytest
+
+from repro.core.dtypes import DType
+from repro.core.errors import DeviceError, OutOfMemoryError
+from repro.gpu.memory import AllocationTracker, MemorySpace, TransferModel
+from repro.gpu.specs import get_gpu
+
+
+class TestAllocationTracker:
+    def _tracker(self):
+        return AllocationTracker(get_gpu("h100"))
+
+    def test_allocate_updates_usage(self):
+        tracker = self._tracker()
+        alloc = tracker.allocate(1000, DType.float64)
+        assert tracker.bytes_in_use == 8000
+        assert alloc.nbytes == 8000
+        assert tracker.live_allocations == 1
+
+    def test_free_returns_memory(self):
+        tracker = self._tracker()
+        alloc = tracker.allocate(1000, DType.float32)
+        tracker.free(alloc)
+        assert tracker.bytes_in_use == 0
+        assert tracker.live_allocations == 0
+        assert tracker.free_count == 1
+
+    def test_double_free_raises(self):
+        tracker = self._tracker()
+        alloc = tracker.allocate(10, DType.float32)
+        tracker.free(alloc)
+        with pytest.raises(DeviceError):
+            tracker.free(alloc)
+
+    def test_peak_tracking(self):
+        tracker = self._tracker()
+        a = tracker.allocate(1000, DType.float64)
+        b = tracker.allocate(2000, DType.float64)
+        tracker.free(a)
+        assert tracker.peak_bytes == 24000
+        assert tracker.bytes_in_use == 16000
+
+    def test_oom(self):
+        tracker = self._tracker()
+        with pytest.raises(OutOfMemoryError):
+            tracker.allocate(tracker.capacity_bytes // 8 + 1, DType.float64)
+
+    def test_capacity_reserves_fraction(self):
+        tracker = self._tracker()
+        assert tracker.capacity_bytes < get_gpu("h100").memory_bytes
+
+    def test_invalid_count(self):
+        with pytest.raises(DeviceError):
+            self._tracker().allocate(0, DType.float64)
+
+    def test_summary_keys(self):
+        tracker = self._tracker()
+        tracker.allocate(10, DType.float32, label="x")
+        summary = tracker.summary()
+        assert summary["alloc_count"] == 1
+        assert summary["bytes_in_use"] == 40
+
+    def test_memory_space_constants(self):
+        assert MemorySpace.GLOBAL == "global"
+        assert MemorySpace.SHARED == "shared"
+
+
+class TestTransferModel:
+    def test_time_increases_with_bytes(self):
+        model = TransferModel(get_gpu("h100"))
+        assert model.transfer_time_s(1 << 30) > model.transfer_time_s(1 << 20)
+
+    def test_latency_floor(self):
+        model = TransferModel(get_gpu("h100"), latency_us=10.0)
+        assert model.transfer_time_s(0) == pytest.approx(10e-6)
+
+    def test_effective_bandwidth_below_peak(self):
+        model = TransferModel(get_gpu("h100"))
+        assert model.effective_bandwidth_gbs(1 << 30) <= get_gpu("h100").transfer_bw_gbs
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(DeviceError):
+            TransferModel(get_gpu("h100")).transfer_time_s(-1)
+
+    def test_unified_memory_is_faster_on_mi300a(self):
+        h = TransferModel(get_gpu("h100"))
+        m = TransferModel(get_gpu("mi300a"))
+        nbytes = 1 << 30
+        assert m.transfer_time_s(nbytes) < h.transfer_time_s(nbytes)

@@ -1,0 +1,75 @@
+"""Tests for the occupancy calculator."""
+
+import pytest
+
+from repro.core.errors import LaunchError
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.specs import get_gpu
+
+
+class TestOccupancyLimits:
+    def test_full_occupancy_small_footprint(self, h100):
+        occ = compute_occupancy(h100, threads_per_block=256,
+                                registers_per_thread=32)
+        assert occ.occupancy == pytest.approx(1.0)
+        assert occ.active_threads_per_sm == h100.max_threads_per_sm
+
+    def test_thread_limited(self, h100):
+        occ = compute_occupancy(h100, threads_per_block=1024,
+                                registers_per_thread=16)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by in ("threads", "blocks")
+
+    def test_register_limited(self, h100):
+        occ = compute_occupancy(h100, threads_per_block=256,
+                                registers_per_thread=255)
+        assert occ.limited_by == "registers"
+        assert occ.occupancy < 1.0
+
+    def test_more_registers_never_increase_occupancy(self, h100):
+        occs = [compute_occupancy(h100, 512, regs).occupancy
+                for regs in (16, 32, 64, 128, 255)]
+        assert occs == sorted(occs, reverse=True)
+
+    def test_shared_memory_limited(self, h100):
+        occ = compute_occupancy(h100, threads_per_block=64,
+                                registers_per_thread=16,
+                                shared_bytes_per_block=100 * 1024)
+        assert occ.limited_by == "shared"
+
+    def test_shared_memory_over_block_limit(self, h100):
+        with pytest.raises(LaunchError):
+            compute_occupancy(h100, 64, 16,
+                              shared_bytes_per_block=h100.shared_mem_per_block + 4096)
+
+    def test_small_blocks_limited_by_block_slots(self, h100):
+        occ = compute_occupancy(h100, threads_per_block=32,
+                                registers_per_thread=16)
+        assert occ.limited_by == "blocks"
+        assert occ.blocks_per_sm == 32
+
+    def test_invalid_threads(self, h100):
+        with pytest.raises(LaunchError):
+            compute_occupancy(h100, 0)
+        with pytest.raises(LaunchError):
+            compute_occupancy(h100, 2048)
+
+    def test_waves_reported(self, h100):
+        occ = compute_occupancy(h100, 256, 32, num_blocks=h100.sm_count * 8 * 3)
+        assert occ.waves == pytest.approx(3.0)
+
+    def test_warp_size_differences(self, h100, mi300a):
+        occ_h = compute_occupancy(h100, 128, 32)
+        occ_m = compute_occupancy(mi300a, 128, 32)
+        assert occ_h.max_warps_per_sm == 64
+        assert occ_m.max_warps_per_sm == 32
+
+    def test_occupancy_never_exceeds_one(self, h100, mi300a):
+        for spec in (h100, mi300a):
+            for tpb in (64, 128, 256, 512, 1024):
+                occ = compute_occupancy(spec, tpb, 24)
+                assert 0.0 < occ.occupancy <= 1.0
+
+    def test_str_mentions_limit(self, h100):
+        occ = compute_occupancy(h100, 256, 255)
+        assert "registers" in str(occ)

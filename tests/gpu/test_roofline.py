@@ -1,0 +1,81 @@
+"""Tests for the roofline model (Figure 2)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.gpu.roofline import Roofline, RooflinePoint, classify_workload
+
+
+class TestRoofline:
+    def test_attainable_memory_region(self):
+        roof = Roofline("h100")
+        ai = 0.1
+        assert roof.attainable(ai, "float64") == pytest.approx(ai * 3.9e12)
+
+    def test_attainable_compute_region(self):
+        roof = Roofline("h100")
+        assert roof.attainable(1000.0, "float64") == pytest.approx(30e12)
+
+    def test_ridge_point_continuity(self):
+        roof = Roofline("h100")
+        ridge = roof.ridge_point("float64")
+        assert roof.attainable(ridge, "float64") == pytest.approx(30e12, rel=1e-6)
+
+    def test_precision_changes_roof(self):
+        roof = Roofline("h100")
+        assert roof.attainable(100, "float32") == pytest.approx(60e12)
+
+    def test_negative_ai_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Roofline("h100").attainable(-1.0)
+
+    def test_roof_series_monotonic(self):
+        roof = Roofline("mi300a")
+        series = roof.roof_series("float64", points=32)
+        ys = [y for _, y in series]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+        assert len(series) == 32
+
+    def test_roof_series_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            Roofline("h100").roof_series(ai_range=(1.0, 0.5))
+
+    def test_place_point(self):
+        roof = Roofline("h100")
+        point = roof.place("stencil", flops=1e9, bytes_moved=4e9, time_s=1e-3)
+        assert point.arithmetic_intensity == pytest.approx(0.25)
+        assert point.performance == pytest.approx(1e12)
+        assert point.gflops == pytest.approx(1000.0)
+
+    def test_place_invalid_inputs(self):
+        roof = Roofline("h100")
+        with pytest.raises(ConfigurationError):
+            roof.place("x", flops=1, bytes_moved=1, time_s=0)
+        with pytest.raises(ConfigurationError):
+            roof.place("x", flops=1, bytes_moved=0, time_s=1)
+
+    def test_efficiency_capped_at_one(self):
+        roof = Roofline("h100")
+        point = RooflinePoint("x", 0.1, 1e15)
+        assert roof.efficiency(point) == 1.0
+
+
+class TestClassification:
+    def test_memory_bound(self):
+        roof = Roofline("h100")
+        point = RooflinePoint("stencil", 0.6, 1e12, precision="float64")
+        assert classify_workload(point, roof) == "memory-bound"
+
+    def test_compute_bound(self):
+        roof = Roofline("h100")
+        point = RooflinePoint("minibude", 50.0, 1e13, precision="float32")
+        assert classify_workload(point, roof) == "compute-bound"
+
+    def test_paper_fig2_regions(self, h100):
+        """The four workloads land in the regions shown in Figure 2."""
+        from repro.experiments.fig2_roofline import EXPECTED_REGION, run
+        result = run(quick=True)
+        assert result.all_passed
+        table = result.tables[0]
+        regions = {row["workload"]: row["region"] for row in table.rows}
+        assert regions == EXPECTED_REGION

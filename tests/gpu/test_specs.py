@@ -1,0 +1,78 @@
+"""Tests for the GPU specification registry (paper Table 1)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.gpu.specs import GPUSpec, H100_NVL, MI300A, get_gpu, list_gpus, register_gpu
+from repro.harness.paper_data import TABLE1_HARDWARE
+
+
+class TestPaperHardware:
+    """The registry must reproduce the paper's Table 1 exactly."""
+
+    @pytest.mark.parametrize("name", ["h100", "mi300a"])
+    def test_table1_values(self, name):
+        spec = get_gpu(name)
+        paper = TABLE1_HARDWARE[name]
+        assert spec.mem_bw_gbs == paper["bandwidth_gbs"]
+        assert spec.fp32_tflops == paper["fp32_tflops"]
+        assert spec.fp64_tflops == paper["fp64_tflops"]
+        assert spec.memory_gib == paper["memory_gb"]
+
+    def test_vendors(self):
+        assert get_gpu("h100").is_nvidia
+        assert get_gpu("mi300a").is_amd
+
+    def test_warp_sizes(self):
+        assert get_gpu("h100").warp_size == 32
+        assert get_gpu("mi300a").warp_size == 64
+
+    def test_mi300a_has_more_bandwidth_and_flops(self):
+        h, m = get_gpu("h100"), get_gpu("mi300a")
+        assert m.mem_bw_gbs > h.mem_bw_gbs
+        assert m.fp64_tflops > h.fp64_tflops
+
+
+class TestSpecDerived:
+    def test_peak_flops_lookup(self, h100):
+        assert h100.peak_flops("float64") == pytest.approx(30e12)
+        assert h100.peak_flops("float32") == pytest.approx(60e12)
+
+    def test_peak_flops_unknown(self, h100):
+        with pytest.raises(ConfigurationError):
+            h100.peak_flops("int8")
+
+    def test_ridge_point(self, h100):
+        ridge = h100.ridge_point("float64")
+        assert ridge == pytest.approx(30e12 / 3.9e12, rel=1e-6)
+
+    def test_memory_bytes(self, h100):
+        assert h100.memory_bytes == int(94 * 1024 ** 3)
+
+    def test_str_contains_name(self, mi300a):
+        assert "MI300A" in str(mi300a)
+
+
+class TestRegistry:
+    def test_aliases(self):
+        assert get_gpu("hopper") is H100_NVL
+        assert get_gpu("mi300") is MI300A
+
+    def test_passthrough(self, h100):
+        assert get_gpu(h100) is h100
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_gpu("tpu-v5")
+
+    def test_list_gpus_deduplicates_aliases(self):
+        names = list_gpus()
+        assert len(names) == len(set(names))
+        assert "h100" in names and "mi300a" in names
+
+    def test_register_custom(self):
+        custom = GPUSpec(name="testgpu", full_name="Test GPU", vendor="nvidia",
+                         memory_gib=16, mem_bw_gbs=500, fp32_tflops=10,
+                         fp64_tflops=5, sm_count=20, warp_size=32)
+        register_gpu(custom, "tg")
+        assert get_gpu("tg") is custom

@@ -1,0 +1,185 @@
+"""Tests for the analytic kernel timing model."""
+
+import pytest
+
+from repro.backends import get_backend
+from repro.core.compiler import CompilerProfile, compile_kernel
+from repro.core.dtypes import DType
+from repro.core.errors import ConfigurationError
+from repro.core.kernel import KernelModel, LaunchConfig, MemoryPattern
+from repro.gpu.specs import get_gpu
+from repro.gpu.timing import KernelTimingModel, estimate_cache_traffic
+
+
+def _compiled(model, profile=None, launch=None, fast_math=False):
+    return compile_kernel(model, profile or CompilerProfile(), launch=launch,
+                          fast_math=fast_math)
+
+
+def _stream_model(**kw):
+    defaults = dict(name="stream", dtype=DType.float64, loads_global=2,
+                    stores_global=1, flops=2, working_values=12)
+    defaults.update(kw)
+    return KernelModel(**defaults)
+
+
+def _compute_model(**kw):
+    defaults = dict(name="compute", dtype=DType.float32, loads_global=4,
+                    stores_global=1, flops=50_000, divides=1000,
+                    working_values=40)
+    defaults.update(kw)
+    return KernelModel(**defaults)
+
+
+class TestMemoryBound:
+    def test_streaming_kernel_is_memory_bound(self, h100):
+        launch = LaunchConfig.for_elements(2 ** 24, 1024)
+        timing = KernelTimingModel(h100).predict(_compiled(_stream_model()), launch)
+        assert timing.bound == "memory"
+        assert timing.memory_time_ms > timing.compute_time_ms
+
+    def test_bandwidth_below_peak(self, h100):
+        launch = LaunchConfig.for_elements(2 ** 24, 1024)
+        timing = KernelTimingModel(h100).predict(_compiled(_stream_model()), launch)
+        assert 0 < timing.achieved_bandwidth_gbs <= h100.mem_bw_gbs
+
+    def test_bandwidth_reasonably_close_to_peak_for_streaming(self, h100):
+        launch = LaunchConfig.for_elements(2 ** 25, 1024)
+        timing = KernelTimingModel(h100).predict(_compiled(_stream_model()), launch)
+        assert timing.achieved_bandwidth_gbs > 0.7 * h100.mem_bw_gbs
+
+    def test_time_scales_linearly_with_elements(self, h100):
+        model = _stream_model()
+        t1 = KernelTimingModel(h100).predict(
+            _compiled(model), LaunchConfig.for_elements(2 ** 22, 1024))
+        t2 = KernelTimingModel(h100).predict(
+            _compiled(model), LaunchConfig.for_elements(2 ** 24, 1024))
+        ratio = t2.kernel_time_ms / t1.kernel_time_ms
+        assert 3.0 < ratio < 5.0
+
+    def test_mi300a_faster_than_h100_for_memory_bound(self, h100, mi300a):
+        model = _stream_model()
+        launch = LaunchConfig.for_elements(2 ** 25, 1024)
+        t_h = KernelTimingModel(h100).predict(_compiled(model), launch)
+        t_m = KernelTimingModel(mi300a).predict(_compiled(model), launch)
+        assert t_m.kernel_time_ms < t_h.kernel_time_ms
+
+
+class TestComputeBound:
+    def test_flop_heavy_kernel_is_compute_bound(self, h100):
+        launch = LaunchConfig.for_elements(65536, 64)
+        timing = KernelTimingModel(h100).predict(_compiled(_compute_model()), launch)
+        assert timing.bound == "compute"
+
+    def test_fast_math_speeds_up_compute_kernels(self, h100):
+        launch = LaunchConfig.for_elements(65536, 64)
+        profile = CompilerProfile(fast_math_available=True)
+        slow = KernelTimingModel(h100).predict(
+            _compiled(_compute_model(), profile, fast_math=False), launch)
+        fast = KernelTimingModel(h100).predict(
+            _compiled(_compute_model(), profile, fast_math=True), launch)
+        assert fast.kernel_time_ms < slow.kernel_time_ms
+
+    def test_gflops_below_peak(self, h100):
+        launch = LaunchConfig.for_elements(65536, 64)
+        timing = KernelTimingModel(h100).predict(_compiled(_compute_model()), launch)
+        assert timing.achieved_gflops < h100.fp32_tflops * 1e3
+
+    def test_ilp_improves_throughput(self, h100):
+        launch = LaunchConfig.for_elements(65536, 64)
+        low = KernelTimingModel(h100).predict(
+            _compiled(_compute_model(ilp=1)), launch)
+        high = KernelTimingModel(h100).predict(
+            _compiled(_compute_model(ilp=8)), launch)
+        assert high.kernel_time_ms < low.kernel_time_ms
+
+
+class TestAtomicsAndSpills:
+    def test_atomics_add_time(self, h100):
+        launch = LaunchConfig.for_elements(2 ** 20, 256)
+        base = _stream_model()
+        with_atomics = _stream_model(atomics=6)
+        t0 = KernelTimingModel(h100).predict(_compiled(base), launch)
+        t1 = KernelTimingModel(h100).predict(_compiled(with_atomics), launch)
+        assert t1.kernel_time_ms > t0.kernel_time_ms
+        assert t1.atomic_time_ms > 0
+        assert t1.bound == "atomic"
+
+    def test_cas_atomics_slower_than_native(self, h100):
+        launch = LaunchConfig.for_elements(2 ** 20, 256)
+        model = _stream_model(atomics=6)
+        native = KernelTimingModel(h100).predict(
+            _compiled(model, CompilerProfile(atomic_mode="native")), launch)
+        cas = KernelTimingModel(h100).predict(
+            _compiled(model, CompilerProfile(atomic_mode="cas",
+                                             cas_expected_retries=100)), launch)
+        assert cas.kernel_time_ms > 10 * native.kernel_time_ms
+
+    def test_spilled_kernel_slower(self, h100):
+        launch = LaunchConfig.for_elements(65536, 64)
+        small = _compute_model(working_values=40)
+        big = _compute_model(working_values=400)
+        t_small = KernelTimingModel(h100).predict(
+            _compiled(small, CompilerProfile(spill_threshold_values=200)), launch)
+        t_big = KernelTimingModel(h100).predict(
+            _compiled(big, CompilerProfile(spill_threshold_values=200)), launch)
+        assert t_big.kernel_time_ms > t_small.kernel_time_ms
+
+
+class TestCacheTrafficAndMisc:
+    def test_stencil_dram_traffic_below_l1(self):
+        model = KernelModel(name="stencil", dtype=DType.float64, loads_global=7,
+                            stores_global=1, flops=13,
+                            memory_pattern=MemoryPattern.STENCIL3D)
+        compiled = _compiled(model)
+        cache = estimate_cache_traffic(compiled, 1000)
+        assert cache["dram_bytes"] < cache["l2_bytes"] <= cache["l1_bytes"]
+
+    def test_stride1_traffic_equal_at_all_levels(self):
+        compiled = _compiled(_stream_model())
+        cache = estimate_cache_traffic(compiled, 1000)
+        assert cache["dram_bytes"] == cache["l2_bytes"] == cache["l1_bytes"]
+
+    def test_throughput_percentages_bounded(self, h100):
+        launch = LaunchConfig.for_elements(2 ** 24, 1024)
+        timing = KernelTimingModel(h100).predict(_compiled(_stream_model()), launch)
+        assert 0 <= timing.memory_throughput_pct <= 100
+        assert 0 <= timing.compute_throughput_pct <= 100
+
+    def test_missing_launch_rejected(self, h100):
+        with pytest.raises(ConfigurationError):
+            KernelTimingModel(h100).predict(_compiled(_stream_model()))
+
+    def test_as_dict_keys(self, h100):
+        launch = LaunchConfig.for_elements(1024, 256)
+        d = KernelTimingModel(h100).predict(_compiled(_stream_model()), launch).as_dict()
+        assert {"kernel_time_ms", "achieved_bandwidth_gbs", "bound"} <= set(d)
+
+    def test_active_fraction_reduces_traffic(self, h100):
+        launch = LaunchConfig.for_elements(2 ** 24, 1024)
+        full = KernelTimingModel(h100).predict(
+            _compiled(_stream_model(active_fraction=1.0)), launch)
+        half = KernelTimingModel(h100).predict(
+            _compiled(_stream_model(active_fraction=0.5)), launch)
+        assert half.dram_bytes == pytest.approx(full.dram_bytes * 0.5, rel=1e-6)
+
+
+class TestPaperShapedBehaviour:
+    """End-to-end timing-model checks tied to the paper's headline ratios."""
+
+    def test_stencil_mojo_cuda_ratio(self, h100):
+        from repro.kernels.stencil import stencil_kernel_model, stencil_launch_config
+        model = stencil_kernel_model(L=512, precision="float64")
+        launch = stencil_launch_config(512, (512, 1, 1))
+        mojo = get_backend("mojo").time(model, h100, launch)
+        cuda = get_backend("cuda").time(model, h100, launch)
+        ratio = cuda.kernel_time_ms / mojo.kernel_time_ms
+        assert 0.80 <= ratio <= 0.95          # paper: ~87%
+
+    def test_stencil_parity_on_mi300a(self, mi300a):
+        from repro.kernels.stencil import stencil_kernel_model, stencil_launch_config
+        model = stencil_kernel_model(L=512, precision="float64")
+        launch = stencil_launch_config(512, (512, 1, 1))
+        mojo = get_backend("mojo").time(model, mi300a, launch)
+        hip = get_backend("hip").time(model, mi300a, launch)
+        assert mojo.kernel_time_ms == pytest.approx(hip.kernel_time_ms, rel=0.05)

@@ -1,0 +1,131 @@
+"""Tests for result tables, experiment results and paper comparisons."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.harness.compare import (
+    ordering_comparison,
+    qualitative_comparison,
+    ratio_comparison,
+    within_band,
+)
+from repro.harness.results import Comparison, ExperimentResult, ResultTable
+
+
+class TestResultTable:
+    def _table(self):
+        t = ResultTable(columns=["op", "gbs"], title="demo")
+        t.add_row(op="copy", gbs=3300.5)
+        t.add_row(op="dot", gbs=2500.0)
+        return t
+
+    def test_add_and_column(self):
+        t = self._table()
+        assert len(t) == 2
+        assert t.column("op") == ["copy", "dot"]
+
+    def test_unknown_column_rejected(self):
+        t = self._table()
+        with pytest.raises(ConfigurationError):
+            t.add_row(op="x", gflops=1.0)
+        with pytest.raises(ConfigurationError):
+            t.column("gflops")
+
+    def test_markdown(self):
+        md = self._table().to_markdown()
+        assert "| op | gbs |" in md
+        assert "copy" in md and "### demo" in md
+
+    def test_text(self):
+        txt = self._table().to_text()
+        assert "demo" in txt and "dot" in txt
+
+    def test_csv(self):
+        csv = self._table().to_csv()
+        assert csv.splitlines()[0] == "op,gbs"
+        assert len(csv.splitlines()) == 3
+
+    def test_float_formatting(self):
+        t = ResultTable(columns=["x"])
+        t.add_row(x=1234567.0)
+        t.add_row(x=0.000001)
+        t.add_row(x=None)
+        text = t.to_text()
+        assert "e+06" in text and "e-06" in text and "-" in text
+
+
+class TestComparisons:
+    def test_within_band(self):
+        assert within_band(0.9, 1.0, rel_tol=0.15)
+        assert not within_band(0.5, 1.0, rel_tol=0.15)
+        assert within_band(0.0, 0.0)
+
+    def test_ratio_comparison_pass_and_fail(self):
+        ok = ratio_comparison("x", 0.9, 1.0, rel_tol=0.2)
+        bad = ratio_comparison("x", 0.5, 1.0, rel_tol=0.2)
+        assert ok.passed and not bad.passed
+        assert ok.ratio == pytest.approx(0.9)
+
+    def test_ratio_comparison_without_paper_value(self):
+        c = ratio_comparison("x", 5.0, None)
+        assert c.passed and c.ratio is None
+
+    def test_ordering_comparison(self):
+        values = {"fast": 10.0, "mid": 5.0, "slow": 1.0}
+        ok = ordering_comparison("o", values, ["fast", "mid", "slow"])
+        bad = ordering_comparison("o", values, ["slow", "mid", "fast"])
+        assert ok.passed and not bad.passed
+        assert "expected" in bad.detail
+
+    def test_ordering_lower_is_better(self):
+        values = {"a": 1.0, "b": 2.0}
+        ok = ordering_comparison("o", values, ["a", "b"], higher_is_better=False)
+        assert ok.passed
+
+    def test_ordering_missing_key(self):
+        with pytest.raises(ConfigurationError):
+            ordering_comparison("o", {"a": 1.0}, ["a", "b"])
+
+    def test_qualitative(self):
+        assert qualitative_comparison("q", True).passed
+        assert not qualitative_comparison("q", False).passed
+
+    def test_comparison_text(self):
+        text = ratio_comparison("metric", 0.9, 1.0).to_text()
+        assert "[ok]" in text and "metric" in text
+        text = ratio_comparison("metric", 0.1, 1.0).to_text()
+        assert "MISMATCH" in text
+
+
+class TestExperimentResult:
+    def _result(self):
+        r = ExperimentResult("figX", "demo experiment")
+        t = ResultTable(columns=["a"], title="t")
+        t.add_row(a=1)
+        r.add_table(t)
+        r.add_comparison(Comparison("c", 1.0, 1.0))
+        r.notes.append("a note")
+        return r
+
+    def test_all_passed(self):
+        r = self._result()
+        assert r.all_passed
+        r.add_comparison(Comparison("bad", 0.0, 1.0, passed=False))
+        assert not r.all_passed
+
+    def test_text_rendering(self):
+        text = self._result().to_text()
+        assert "figX" in text and "Paper comparison" in text and "note:" in text
+
+    def test_markdown_rendering(self):
+        md = self._result().to_markdown()
+        assert md.startswith("## figX")
+        assert "**Paper comparison**" in md
+
+    def test_json_rendering(self):
+        payload = json.loads(self._result().to_json())
+        assert payload["experiment_id"] == "figX"
+        assert payload["all_passed"] is True
+        assert payload["tables"][0]["rows"] == [{"a": 1}]

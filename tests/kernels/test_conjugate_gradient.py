@@ -1,0 +1,113 @@
+"""Tests for the conjugate-gradient composition of BabelStream primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, VerificationError
+from repro.kernels.babelstream.conjugate_gradient import (
+    CGResult,
+    conjugate_gradient,
+    estimate_cg_iteration_time,
+    poisson_operator,
+)
+
+
+class TestPoissonOperator:
+    def test_symmetry(self, rng):
+        L = 6
+        apply = poisson_operator(L)
+        u = rng.normal(size=L ** 3)
+        v = rng.normal(size=L ** 3)
+        assert np.dot(v, apply(u)) == pytest.approx(np.dot(u, apply(v)), rel=1e-10)
+
+    def test_positive_definite_on_interior(self, rng):
+        L = 6
+        apply = poisson_operator(L)
+        u = np.zeros((L, L, L))
+        u[1:-1, 1:-1, 1:-1] = rng.normal(size=(L - 2, L - 2, L - 2))
+        u = u.reshape(-1)
+        assert np.dot(u, apply(u)) > 0
+
+    def test_constant_interior_field(self):
+        L = 5
+        apply = poisson_operator(L)
+        u = np.zeros((L, L, L))
+        u[1:-1, 1:-1, 1:-1] = 1.0
+        out = apply(u.reshape(-1)).reshape(L, L, L)
+        # the very centre sees six identical neighbours -> zero
+        assert out[2, 2, 2] == pytest.approx(0.0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson_operator(2)
+
+
+class TestConjugateGradient:
+    def _solve(self, L=8, tol=1e-9):
+        apply = poisson_operator(L)
+        rng = np.random.default_rng(3)
+        x_true = np.zeros((L, L, L))
+        x_true[1:-1, 1:-1, 1:-1] = rng.normal(size=(L - 2, L - 2, L - 2))
+        x_true = x_true.reshape(-1)
+        rhs = apply(x_true)
+        result = conjugate_gradient(apply, rhs, tolerance=tol, max_iterations=2000)
+        return result, x_true
+
+    def test_converges_to_true_solution(self):
+        result, x_true = self._solve()
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-6)
+
+    def test_residual_history_decreases_overall(self):
+        result, _ = self._solve()
+        assert result.residual_history[-1] < result.residual_history[0]
+        assert result.residual_norm <= 1e-9
+
+    def test_operation_counts_recorded(self):
+        result, _ = self._solve()
+        counts = result.operation_counts
+        assert counts["operator"] == result.iterations + 1
+        assert counts["dot"] == 2 * result.iterations + 1
+        assert counts["triad"] >= 3 * result.iterations
+
+    def test_max_iterations_respected(self):
+        apply = poisson_operator(8)
+        rng = np.random.default_rng(7)
+        interior = np.zeros((8, 8, 8))
+        interior[1:-1, 1:-1, 1:-1] = rng.normal(size=(6, 6, 6))
+        rhs = apply(interior.reshape(-1))
+        result = conjugate_gradient(apply, rhs, tolerance=1e-16, max_iterations=3)
+        assert result.iterations == 3 and not result.converged
+
+    def test_zero_rhs_converges_immediately(self):
+        apply = poisson_operator(6)
+        result = conjugate_gradient(apply, np.zeros(6 ** 3))
+        assert result.converged and result.iterations == 0
+
+    def test_indefinite_operator_rejected(self):
+        result = lambda: conjugate_gradient(lambda v: -v, np.ones(16))
+        with pytest.raises(VerificationError):
+            result()
+
+    def test_shape_mismatch_rejected(self):
+        apply = poisson_operator(6)
+        with pytest.raises(ConfigurationError):
+            conjugate_gradient(apply, np.ones(6 ** 3), x0=np.ones(10))
+
+
+class TestIterationCostModel:
+    def test_breakdown_components(self):
+        breakdown = estimate_cg_iteration_time(256, backend="cuda", gpu="h100")
+        assert set(breakdown) == {"stencil_ms", "triad_ms", "dot_ms", "total_ms"}
+        assert breakdown["total_ms"] == pytest.approx(
+            breakdown["stencil_ms"] + breakdown["triad_ms"] + breakdown["dot_ms"])
+        assert breakdown["total_ms"] > 0
+
+    def test_portability_shape_matches_memory_bound_story(self):
+        """CG is memory-bound, so Mojo ~ parity on MI300A and ~0.9x on H100."""
+        mojo_h = estimate_cg_iteration_time(256, backend="mojo", gpu="h100")["total_ms"]
+        cuda_h = estimate_cg_iteration_time(256, backend="cuda", gpu="h100")["total_ms"]
+        mojo_a = estimate_cg_iteration_time(256, backend="mojo", gpu="mi300a")["total_ms"]
+        hip_a = estimate_cg_iteration_time(256, backend="hip", gpu="mi300a")["total_ms"]
+        assert 1.0 <= mojo_h / cuda_h < 1.35
+        assert mojo_a == pytest.approx(hip_a, rel=0.1)

@@ -1,0 +1,202 @@
+"""Tests for the miniBUDE workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.kernels.minibude import (
+    BM1_NATLIG,
+    BM1_NATPRO,
+    BM1_NPOSES,
+    Deck,
+    fasten_kernel_model,
+    gflops,
+    make_bm1,
+    make_deck,
+    minibude_launch_config,
+    ops_per_workitem,
+    reference_energies,
+    run_fasten_functional,
+    run_minibude,
+    total_ops,
+    verify_energies,
+)
+
+
+class TestDeck:
+    def test_bm1_dimensions(self):
+        deck = make_bm1(nposes=1024)
+        assert deck.natlig == BM1_NATLIG == 26
+        assert deck.natpro == BM1_NATPRO == 938
+        assert deck.nposes == 1024
+
+    def test_default_bm1_pose_count(self):
+        assert BM1_NPOSES == 65536
+
+    def test_deck_reproducible(self):
+        a = make_deck(natlig=4, natpro=8, ntypes=4, nposes=16, seed=3)
+        b = make_deck(natlig=4, natpro=8, ntypes=4, nposes=16, seed=3)
+        np.testing.assert_array_equal(a.protein, b.protein)
+        np.testing.assert_array_equal(a.poses, b.poses)
+
+    def test_deck_seed_changes_data(self):
+        a = make_deck(natlig=4, natpro=8, ntypes=4, nposes=16, seed=1)
+        b = make_deck(natlig=4, natpro=8, ntypes=4, nposes=16, seed=2)
+        assert not np.array_equal(a.poses, b.poses)
+
+    def test_atom_types_within_range(self):
+        deck = make_deck(natlig=8, natpro=16, ntypes=5, nposes=4)
+        assert deck.ligand[:, 3].max() < 5
+        assert deck.protein[:, 3].min() >= 0
+
+    def test_flattened_layouts(self):
+        deck = make_deck(natlig=3, natpro=5, ntypes=4, nposes=8)
+        assert deck.protein_flat().shape == (20,)
+        assert deck.ligand_flat().shape == (12,)
+        assert deck.forcefield_flat().shape == (16,)
+        assert len(deck.transforms()) == 6
+        assert deck.transforms()[0].shape == (8,)
+
+    def test_subset(self):
+        deck = make_deck(natlig=3, natpro=5, ntypes=4, nposes=32)
+        sub = deck.subset(8)
+        assert sub.nposes == 8
+        np.testing.assert_array_equal(sub.poses, deck.poses[:, :8])
+
+    def test_subset_invalid(self):
+        deck = make_deck(natlig=3, natpro=5, ntypes=4, nposes=8)
+        with pytest.raises(ConfigurationError):
+            deck.subset(100)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deck(protein=np.zeros((4, 3)), ligand=np.zeros((4, 4)),
+                 forcefield=np.zeros((2, 4)), poses=np.zeros((6, 4)))
+        with pytest.raises(ConfigurationError):
+            make_deck(natlig=0, natpro=8, ntypes=4, nposes=4)
+
+
+class TestEnergyMetric:
+    def test_eq3_ops_per_workitem(self):
+        # direct transcription of Eq. 3
+        ppwi, natlig, natpro = 4, 26, 938
+        expected = 28 * ppwi + natlig * (2 + 18 * ppwi + natpro * (10 + 30 * ppwi))
+        assert ops_per_workitem(ppwi, natlig, natpro) == expected
+
+    def test_total_ops_scales_with_poses(self):
+        assert total_ops(2, 26, 938, 1024) == pytest.approx(
+            ops_per_workitem(2, 26, 938) * 512)
+
+    def test_gflops(self):
+        ops = total_ops(1, 26, 938, 65536)
+        assert gflops(1, 26, 938, 65536, 1.0) == pytest.approx(ops * 1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ops_per_workitem(0, 26, 938)
+        with pytest.raises(ConfigurationError):
+            gflops(1, 26, 938, 65536, 0.0)
+
+
+class TestDeviceKernelVsReference:
+    def test_small_deck_matches_reference(self):
+        deck = make_deck(natlig=6, natpro=20, ntypes=8, nposes=32, seed=11)
+        energies, err = run_fasten_functional(deck, ppwi=2, wgsize=8)
+        assert err < 2e-3
+        assert energies.shape == (32,)
+        assert np.any(energies != 0.0)
+
+    def test_ppwi_does_not_change_energies(self):
+        deck = make_deck(natlig=4, natpro=12, ntypes=6, nposes=16, seed=5)
+        e1, _ = run_fasten_functional(deck, ppwi=1, wgsize=4)
+        e2, _ = run_fasten_functional(deck, ppwi=4, wgsize=4)
+        np.testing.assert_allclose(e1, e2, rtol=1e-5)
+
+    def test_reference_energies_deterministic(self):
+        deck = make_deck(natlig=4, natpro=12, ntypes=6, nposes=16, seed=5)
+        np.testing.assert_array_equal(reference_energies(deck),
+                                      reference_energies(deck))
+
+    def test_verify_energies_detects_corruption(self):
+        deck = make_deck(natlig=4, natpro=12, ntypes=6, nposes=16, seed=5)
+        energies = reference_energies(deck).copy()
+        energies[3] += 100.0
+        with pytest.raises(Exception):
+            verify_energies(energies, deck)
+
+    def test_reference_chunking_invariance(self):
+        deck = make_deck(natlig=4, natpro=12, ntypes=6, nposes=64, seed=5)
+        np.testing.assert_allclose(reference_energies(deck, pose_chunk=7),
+                                   reference_energies(deck, pose_chunk=64),
+                                   rtol=1e-12)
+
+
+class TestLaunchAndModel:
+    def test_launch_config(self):
+        launch = minibude_launch_config(65536, 4, 64)
+        assert launch.total_threads == 65536 // 4
+        assert launch.threads_per_block == 64
+
+    def test_launch_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            minibude_launch_config(100, 3, 8)
+
+    def test_model_scales_with_ppwi(self):
+        m1 = fasten_kernel_model(ppwi=1, natlig=26, natpro=938)
+        m8 = fasten_kernel_model(ppwi=8, natlig=26, natpro=938)
+        assert m8.flops > 5 * m1.flops
+        assert m8.working_values > m1.working_values
+        assert m8.ilp == 8
+
+    def test_model_is_compute_heavy(self):
+        m = fasten_kernel_model(ppwi=2, natlig=26, natpro=938)
+        assert m.arithmetic_intensity() > 100
+
+
+class TestRunner:
+    def test_run_minibude_basic(self):
+        res = run_minibude(ppwi=2, wgsize=64, backend="cuda", gpu="h100",
+                           fast_math=True, verify=False)
+        assert res.gflops > 0
+        assert res.fast_math is True
+        assert res.nposes == 65536
+
+    def test_fast_math_improves_cuda(self):
+        fm = run_minibude(ppwi=2, wgsize=64, backend="cuda", gpu="h100",
+                          fast_math=True, verify=False)
+        nofm = run_minibude(ppwi=2, wgsize=64, backend="cuda", gpu="h100",
+                            fast_math=False, verify=False)
+        assert fm.gflops > nofm.gflops
+
+    def test_mojo_between_cuda_variants_on_h100(self):
+        mojo = run_minibude(ppwi=2, wgsize=64, backend="mojo", gpu="h100", verify=False)
+        fm = run_minibude(ppwi=2, wgsize=64, backend="cuda", gpu="h100",
+                          fast_math=True, verify=False)
+        nofm = run_minibude(ppwi=2, wgsize=64, backend="cuda", gpu="h100",
+                            fast_math=False, verify=False)
+        assert nofm.gflops <= mojo.gflops <= fm.gflops
+
+    def test_mojo_below_hip_on_mi300a(self):
+        mojo = run_minibude(ppwi=2, wgsize=64, backend="mojo", gpu="mi300a", verify=False)
+        hip = run_minibude(ppwi=2, wgsize=64, backend="hip", gpu="mi300a",
+                           fast_math=False, verify=False)
+        assert mojo.gflops < hip.gflops
+
+    def test_wg64_beats_wg8(self):
+        wg8 = run_minibude(ppwi=2, wgsize=8, backend="cuda", gpu="h100",
+                           fast_math=True, verify=False)
+        wg64 = run_minibude(ppwi=2, wgsize=64, backend="cuda", gpu="h100",
+                            fast_math=True, verify=False)
+        assert wg64.gflops > wg8.gflops
+
+    def test_throughput_rises_then_falls_with_ppwi(self):
+        values = [run_minibude(ppwi=p, wgsize=64, backend="cuda", gpu="h100",
+                               fast_math=True, verify=False).gflops
+                  for p in (1, 8, 128)]
+        assert values[1] > values[0]          # ILP gain
+        assert values[2] < values[1]          # register-pressure loss
+
+    def test_run_with_functional_verification(self):
+        res = run_minibude(ppwi=2, wgsize=8, backend="mojo", gpu="h100",
+                           verify=True, verify_poses=16)
+        assert res.verified and res.max_rel_error < 2e-3

@@ -1,0 +1,91 @@
+"""Tests for the performance-portability metric (Eq. 4)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.portability import (
+    EfficiencyEntry,
+    PortabilityResult,
+    arithmetic_mean_phi,
+    efficiency,
+    harmonic_mean_phi,
+    portability_from_entries,
+)
+
+
+class TestEfficiency:
+    def test_throughput_metric(self):
+        assert efficiency(90.0, 100.0) == pytest.approx(0.9)
+
+    def test_time_metric(self):
+        assert efficiency(200.0, 100.0, higher_is_better=False) == pytest.approx(0.5)
+
+    def test_can_exceed_one(self):
+        assert efficiency(110.0, 100.0) == pytest.approx(1.1)
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            efficiency(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            efficiency(1.0, -2.0)
+
+
+class TestPhiMeans:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean_phi([0.8, 1.0, 1.2]) == pytest.approx(1.0)
+
+    def test_harmonic_mean_below_arithmetic(self):
+        values = [0.5, 1.0, 1.5]
+        assert harmonic_mean_phi(values) < arithmetic_mean_phi(values)
+
+    def test_harmonic_mean_zero_when_unsupported(self):
+        assert harmonic_mean_phi([1.0, 0.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            arithmetic_mean_phi([])
+        with pytest.raises(ConfigurationError):
+            harmonic_mean_phi([])
+
+    def test_paper_table5_stencil_phi(self):
+        """Table 5: stencil efficiencies 0.82/1.00/0.87/1.00 -> Φ = 0.92."""
+        assert arithmetic_mean_phi([0.82, 1.00, 0.87, 1.00]) == pytest.approx(0.9225)
+
+    def test_paper_table5_babelstream_phi(self):
+        values = [1.01, 1.00, 1.02, 1.00, 1.01, 1.00, 1.01, 1.00, 0.78, 1.00]
+        assert arithmetic_mean_phi(values) == pytest.approx(0.983, abs=0.03)
+
+
+class TestPortabilityResult:
+    def _samples(self):
+        return [
+            {"configuration": "fp32", "platform": "h100", "efficiency": 0.82},
+            {"configuration": "fp64", "platform": "h100", "efficiency": 0.87},
+            {"configuration": "fp32", "platform": "mi300a", "efficiency": 1.0},
+            {"configuration": "fp64", "platform": "mi300a", "efficiency": 1.0},
+        ]
+
+    def test_from_entries(self):
+        result = portability_from_entries("stencil", self._samples())
+        assert result.workload == "stencil"
+        assert len(result.entries) == 4
+        assert result.phi == pytest.approx(0.9225)
+        assert result.platforms == ["h100", "mi300a"]
+
+    def test_by_platform_grouping(self):
+        result = portability_from_entries("stencil", self._samples())
+        groups = result.by_platform()
+        assert len(groups["h100"]) == 2
+
+    def test_rows_include_phi(self):
+        rows = portability_from_entries("stencil", self._samples()).to_rows()
+        assert rows[-1]["configuration"] == "Φ"
+        assert rows[-1]["efficiency"] == pytest.approx(0.9225)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            portability_from_entries("x", [])
+
+    def test_harmonic_available(self):
+        result = portability_from_entries("stencil", self._samples())
+        assert 0 < result.phi_harmonic <= result.phi

@@ -1,0 +1,72 @@
+"""Tests for run statistics (warm-up discard, repeats)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.statistics import (
+    coefficient_of_variation,
+    discard_warmup,
+    summarize,
+)
+
+
+class TestDiscardWarmup:
+    def test_drops_first_samples(self):
+        assert discard_warmup([10, 1, 2, 3], warmup=1) == [1, 2, 3]
+
+    def test_zero_warmup(self):
+        assert discard_warmup([1, 2], warmup=0) == [1, 2]
+
+    def test_all_discarded_rejected(self):
+        with pytest.raises(ConfigurationError):
+            discard_warmup([1, 2], warmup=2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            discard_warmup([1], warmup=-1)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0 and stats.maximum == 4.0
+        assert stats.median == pytest.approx(2.5)
+
+    def test_warmup_applied(self):
+        stats = summarize([100.0, 1.0, 1.0, 1.0], warmup=1)
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.count == 3
+
+    def test_single_sample_has_zero_std(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_percentiles_ordered(self):
+        stats = summarize(np.linspace(0, 1, 101))
+        assert stats.p05 <= stats.median <= stats.p95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_as_dict(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert {"mean", "std", "min", "max", "median"} <= set(d)
+
+    def test_jit_warmup_protocol(self):
+        """The paper discards the first (JIT) iteration before averaging."""
+        samples = [50.0] + [10.0] * 99
+        assert summarize(samples, warmup=1).mean == pytest.approx(10.0)
+        assert summarize(samples).mean > 10.0
+
+
+class TestCoefficientOfVariation:
+    def test_constant_series(self):
+        assert coefficient_of_variation([3.0, 3.0, 3.0]) == 0.0
+
+    def test_scales_with_spread(self):
+        tight = coefficient_of_variation([10.0, 10.1, 9.9])
+        wide = coefficient_of_variation([10.0, 15.0, 5.0])
+        assert wide > tight

@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dtypes import DType
+from repro.core.intrinsics import Dim3, ceildiv
+from repro.core.kernel import KernelModel, LaunchConfig
+from repro.core.layout import Layout, LayoutTensor
+
+dims = st.integers(min_value=1, max_value=12)
+small_positive = st.integers(min_value=1, max_value=10 ** 6)
+
+
+class TestCeildivProperties:
+    @given(a=st.integers(min_value=0, max_value=10 ** 9),
+           b=st.integers(min_value=1, max_value=10 ** 6))
+    def test_ceildiv_covers_and_is_minimal(self, a, b):
+        q = ceildiv(a, b)
+        assert q * b >= a
+        assert (q - 1) * b < a or q == 0
+
+
+class TestLayoutProperties:
+    @given(shape=st.lists(dims, min_size=1, max_size=4))
+    def test_offsets_are_a_bijection(self, shape):
+        layout = Layout.row_major(*shape)
+        offsets = set()
+        for idx in np.ndindex(*shape):
+            offsets.add(layout.offset(*idx))
+        assert len(offsets) == layout.size
+        assert min(offsets) == 0 and max(offsets) == layout.size - 1
+
+    @given(shape=st.lists(dims, min_size=1, max_size=4))
+    def test_row_and_col_major_agree_on_size(self, shape):
+        assert Layout.row_major(*shape).size == Layout.col_major(*shape).size
+
+    @given(shape=st.lists(dims, min_size=1, max_size=3),
+           value=st.floats(min_value=-1e6, max_value=1e6,
+                           allow_nan=False, allow_infinity=False))
+    def test_tensor_roundtrip(self, shape, value):
+        layout = Layout.row_major(*shape)
+        storage = np.zeros(layout.size)
+        tensor = LayoutTensor(DType.float64, layout, storage)
+        idx = tuple(d - 1 for d in shape)
+        tensor[idx] = value
+        assert tensor[idx] == value
+
+    @given(shape=st.lists(dims, min_size=2, max_size=3))
+    def test_to_numpy_matches_elementwise_reads(self, shape):
+        layout = Layout.row_major(*shape)
+        storage = np.arange(layout.size, dtype=np.float64)
+        tensor = LayoutTensor(DType.float64, layout, storage)
+        arr = tensor.to_numpy()
+        for idx in np.ndindex(*tuple(shape)):
+            assert arr[idx] == tensor[idx]
+
+
+class TestDim3AndLaunchProperties:
+    @given(x=dims, y=dims, z=dims)
+    def test_dim3_total(self, x, y, z):
+        assert Dim3(x, y, z).total == x * y * z
+
+    @given(n=st.integers(min_value=1, max_value=10 ** 7),
+           block=st.sampled_from([32, 64, 128, 256, 512, 1024]))
+    def test_for_elements_covers_all_elements(self, n, block):
+        cfg = LaunchConfig.for_elements(n, block)
+        assert cfg.total_threads >= n
+        assert cfg.total_threads - n < block
+
+
+class TestKernelModelProperties:
+    @given(loads=st.floats(min_value=0, max_value=100, allow_nan=False),
+           stores=st.floats(min_value=0, max_value=100, allow_nan=False),
+           flops=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+           threads=st.integers(min_value=1, max_value=10 ** 6))
+    def test_totals_scale_linearly_with_threads(self, loads, stores, flops, threads):
+        model = KernelModel(name="m", dtype=DType.float64, loads_global=loads,
+                            stores_global=stores, flops=flops)
+        assert model.total_bytes(threads) == pytest.approx(
+            model.bytes_per_thread() * threads)
+        assert model.total_flops(threads) == pytest.approx(
+            model.total_flops(1) * threads, rel=1e-9)
+
+    @given(flops=st.floats(min_value=1, max_value=1e4, allow_nan=False),
+           divides=st.floats(min_value=0, max_value=1e3, allow_nan=False))
+    def test_special_functions_never_reduce_weighted_flops(self, flops, divides):
+        plain = KernelModel(name="m", dtype=DType.float32, loads_global=1,
+                            stores_global=1, flops=flops)
+        special = plain.scaled(divides=divides)
+        assert special.total_flops(10) >= plain.total_flops(10)

@@ -1,0 +1,103 @@
+"""Property-based tests for the GPU substrate (occupancy, timing, metrics)."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import CompilerProfile, compile_kernel
+from repro.core.dtypes import DType
+from repro.core.kernel import KernelModel, LaunchConfig, MemoryPattern
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.roofline import Roofline
+from repro.gpu.specs import get_gpu
+from repro.gpu.timing import KernelTimingModel
+
+gpus = st.sampled_from(["h100", "mi300a", "a100", "mi250x"])
+block_sizes = st.sampled_from([32, 64, 128, 256, 512, 1024])
+registers = st.integers(min_value=8, max_value=255)
+
+
+class TestOccupancyProperties:
+    @given(gpu=gpus, tpb=block_sizes, regs=registers,
+           shared=st.sampled_from([0, 1024, 8192, 32768]))
+    def test_occupancy_bounds_and_consistency(self, gpu, tpb, regs, shared):
+        spec = get_gpu(gpu)
+        occ = compute_occupancy(spec, tpb, regs, shared)
+        assert 0.0 <= occ.occupancy <= 1.0
+        assert occ.active_threads_per_sm <= spec.max_threads_per_sm
+        assert occ.active_threads_per_sm == occ.blocks_per_sm * tpb
+
+    @given(gpu=gpus, tpb=block_sizes, shared=st.sampled_from([0, 4096]))
+    def test_occupancy_monotone_in_registers(self, gpu, tpb, shared):
+        spec = get_gpu(gpu)
+        occs = [compute_occupancy(spec, tpb, r, shared).occupancy
+                for r in (16, 32, 64, 128, 255)]
+        assert all(b <= a + 1e-12 for a, b in zip(occs, occs[1:]))
+
+
+def _timed(gpu, model, launch, fast_math=False):
+    compiled = compile_kernel(model, CompilerProfile(), fast_math=fast_math)
+    return KernelTimingModel(get_gpu(gpu)).predict(compiled, launch)
+
+
+class TestTimingProperties:
+    @given(gpu=gpus,
+           loads=st.integers(min_value=1, max_value=16),
+           stores=st.integers(min_value=0, max_value=4),
+           flops=st.integers(min_value=0, max_value=10000),
+           log_n=st.integers(min_value=12, max_value=24),
+           block=block_sizes,
+           pattern=st.sampled_from(MemoryPattern.ALL))
+    @settings(max_examples=60, deadline=None)
+    def test_time_positive_and_rates_below_peak(self, gpu, loads, stores, flops,
+                                                log_n, block, pattern):
+        spec = get_gpu(gpu)
+        model = KernelModel(name="m", dtype=DType.float64, loads_global=loads,
+                            stores_global=stores, flops=flops,
+                            memory_pattern=pattern)
+        launch = LaunchConfig.for_elements(2 ** log_n, block)
+        timing = _timed(gpu, model, launch)
+        assert timing.kernel_time_ms > 0
+        assert timing.achieved_bandwidth_gbs <= spec.mem_bw_gbs * (1 + 1e-9)
+        assert timing.achieved_gflops <= spec.peak_flops("float64") / 1e9 * (1 + 1e-9)
+        assert timing.kernel_time_ms >= max(timing.memory_time_ms,
+                                            timing.compute_time_ms) - 1e-12
+
+    @given(gpu=gpus, log_n1=st.integers(min_value=14, max_value=20),
+           extra=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_more_elements_never_faster(self, gpu, log_n1, extra):
+        model = KernelModel(name="m", dtype=DType.float64, loads_global=2,
+                            stores_global=1, flops=4)
+        t1 = _timed(gpu, model, LaunchConfig.for_elements(2 ** log_n1, 256))
+        t2 = _timed(gpu, model, LaunchConfig.for_elements(2 ** (log_n1 + extra), 256))
+        assert t2.kernel_time_ms >= t1.kernel_time_ms
+
+    @given(divides=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_fast_math_never_slower(self, divides):
+        model = KernelModel(name="m", dtype=DType.float32, loads_global=2,
+                            stores_global=1, flops=1000, divides=divides)
+        launch = LaunchConfig.for_elements(2 ** 16, 128)
+        slow = _timed("h100", model, launch, fast_math=False)
+        fast = _timed("h100", model, launch, fast_math=True)
+        assert fast.kernel_time_ms <= slow.kernel_time_ms + 1e-12
+
+
+class TestRooflineProperties:
+    @given(gpu=gpus, ai=st.floats(min_value=1e-3, max_value=1e3,
+                                  allow_nan=False, allow_infinity=False),
+           precision=st.sampled_from(["float32", "float64"]))
+    def test_attainable_is_min_of_roofs(self, gpu, ai, precision):
+        roof = Roofline(gpu)
+        value = roof.attainable(ai, precision)
+        assert value <= roof.peak_flops(precision) + 1e-6
+        assert value <= ai * roof.peak_bandwidth * (1 + 1e-12)
+        assert value == pytest.approx(min(roof.peak_flops(precision),
+                                          ai * roof.peak_bandwidth))
+
+    @given(gpu=gpus)
+    def test_roof_series_monotone(self, gpu):
+        series = Roofline(gpu).roof_series(points=16)
+        ys = [y for _, y in series]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))

@@ -1,0 +1,117 @@
+"""Property-based tests for workload-level invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.babelstream import arrays_moved, operation_bandwidth_gbs, operation_bytes
+from repro.kernels.hartreefock import boys_f0, decode_pair, surviving_quadruple_fraction
+from repro.kernels.minibude import ops_per_workitem, total_ops
+from repro.kernels.stencil import effective_fetch_bytes, effective_write_bytes
+from repro.metrics.portability import arithmetic_mean_phi, harmonic_mean_phi
+from repro.metrics.statistics import summarize
+
+
+class TestStencilMetricProperties:
+    @given(L=st.integers(min_value=3, max_value=1024),
+           precision=st.sampled_from(["float32", "float64"]))
+    def test_eq1_byte_counts_positive_and_bounded(self, L, precision):
+        fetch = effective_fetch_bytes(L, precision)
+        write = effective_write_bytes(L, precision)
+        sizeof = 4 if precision == "float32" else 8
+        assert 0 < write < fetch or L == 3
+        assert fetch <= L ** 3 * sizeof
+        assert write == (L - 2) ** 3 * sizeof
+
+    @given(L=st.integers(min_value=4, max_value=512))
+    def test_eq1_fetch_exceeds_interior(self, L):
+        # Everything the kernel writes must also have been fetched.
+        assert effective_fetch_bytes(L, "float64") >= effective_write_bytes(L, "float64")
+
+
+class TestBabelStreamMetricProperties:
+    @given(op=st.sampled_from(["copy", "mul", "add", "triad", "dot"]),
+           n=st.integers(min_value=1, max_value=2 ** 26),
+           time_s=st.floats(min_value=1e-6, max_value=10.0, allow_nan=False))
+    def test_eq2_consistency(self, op, n, time_s):
+        nbytes = operation_bytes(op, n, "float64")
+        assert nbytes == arrays_moved(op) * n * 8
+        bw = operation_bandwidth_gbs(op, n, "float64", time_s)
+        assert bw == pytest.approx(nbytes / time_s / 1e9)
+
+    @given(n=st.integers(min_value=1, max_value=2 ** 26),
+           time_s=st.floats(min_value=1e-6, max_value=1.0, allow_nan=False))
+    def test_triad_moves_more_than_copy(self, n, time_s):
+        assert (operation_bandwidth_gbs("triad", n, "float64", time_s)
+                > operation_bandwidth_gbs("copy", n, "float64", time_s))
+
+
+class TestMiniBudeMetricProperties:
+    @given(ppwi=st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128]),
+           natlig=st.integers(min_value=1, max_value=64),
+           natpro=st.integers(min_value=1, max_value=2000))
+    def test_eq3_total_ops_independent_of_ppwi_to_first_order(self, ppwi, natlig, natpro):
+        """The dominant natlig*natpro*30 term of Eq. 3 is PPWI-invariant."""
+        nposes = 65536
+        dominant = 30.0 * natlig * natpro * nposes
+        assert total_ops(ppwi, natlig, natpro, nposes) >= dominant
+
+    @given(ppwi=st.integers(min_value=1, max_value=128),
+           natlig=st.integers(min_value=1, max_value=64),
+           natpro=st.integers(min_value=1, max_value=2000))
+    def test_eq3_monotonic_in_every_argument(self, ppwi, natlig, natpro):
+        base = ops_per_workitem(ppwi, natlig, natpro)
+        assert ops_per_workitem(ppwi + 1, natlig, natpro) > base
+        assert ops_per_workitem(ppwi, natlig + 1, natpro) > base
+        assert ops_per_workitem(ppwi, natlig, natpro + 1) > base
+
+
+class TestHartreeFockProperties:
+    @given(idx=st.integers(min_value=0, max_value=10 ** 12))
+    def test_decode_pair_inverse(self, idx):
+        row, col = decode_pair(idx)
+        assert 0 <= col <= row
+        assert row * (row + 1) // 2 + col == idx
+
+    @given(t=st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+    def test_boys_function_bounds(self, t):
+        value = boys_f0(t)
+        assert 0.0 < value <= 1.0
+
+    @given(t1=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+           dt=st.floats(min_value=1e-6, max_value=1e3, allow_nan=False))
+    def test_boys_function_monotone_decreasing(self, t1, dt):
+        assert boys_f0(t1 + dt) <= boys_f0(t1) + 1e-12
+
+    @given(values=st.lists(st.floats(min_value=1e-12, max_value=1.0,
+                                     allow_nan=False), min_size=1, max_size=200),
+           tol=st.floats(min_value=1e-12, max_value=1e-2, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_surviving_fraction_matches_brute_force(self, values, tol):
+        schwarz = np.asarray(values)
+        frac = surviving_quadruple_fraction(schwarz, tol)
+        n = len(schwarz)
+        count = sum(1 for q in range(n) for p in range(q + 1)
+                    if schwarz[p] * schwarz[q] >= tol)
+        # order pairs by sorted value: brute force over sorted array
+        s = np.sort(schwarz)
+        count = sum(1 for q in range(n) for p in range(q + 1)
+                    if s[p] * s[q] >= tol)
+        assert frac == pytest.approx(count / (n * (n + 1) / 2))
+
+
+class TestMetricAggregationProperties:
+    @given(values=st.lists(st.floats(min_value=0.01, max_value=10.0,
+                                     allow_nan=False), min_size=1, max_size=50))
+    def test_harmonic_never_exceeds_arithmetic(self, values):
+        assert harmonic_mean_phi(values) <= arithmetic_mean_phi(values) + 1e-12
+
+    @given(values=st.lists(st.floats(min_value=0.01, max_value=100.0,
+                                     allow_nan=False), min_size=2, max_size=50))
+    def test_summary_bounds(self, values):
+        stats = summarize(values)
+        assert stats.minimum <= stats.p05 <= stats.median <= stats.p95 <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_options(self):
+        args = build_parser().parse_args(["run", "fig3", "table4", "--full",
+                                          "--markdown"])
+        assert args.ids == ["fig3", "table4"]
+        assert args.full and args.markdown and not args.verify
+
+
+class TestMain:
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table5" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "backends" in out and "mojo" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "H100" in out and "MI300A" in out and "fast-math" in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "[ok]" in out
+
+    def test_run_markdown_output(self, capsys):
+        assert main(["run", "fig5", "--markdown"]) == 0
+        assert "## fig5" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
