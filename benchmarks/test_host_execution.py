@@ -4,6 +4,10 @@ Unlike the figure/table benches (which evaluate the analytic device model),
 these measure genuine wall-clock of the repository's executable components:
 the vectorized workload references and the functional thread-level simulator.
 They guard against performance regressions in the substrate itself.
+
+``benchmarks/baseline.json`` stores the reference timings; ``python -m repro
+bench-compare`` fails when any benchmark here regresses more than 2x against
+that baseline.
 """
 
 import numpy as np
@@ -14,6 +18,7 @@ from repro.core.kernel import LaunchConfig
 from repro.gpu.executor import KernelExecutor
 from repro.kernels.babelstream import BabelStreamArrays
 from repro.kernels.hartreefock import compute_schwarz, make_helium_system, surviving_quadruple_fraction
+from repro.kernels.hartreefock.reference import fock_quadruple_reference
 from repro.kernels.minibude import make_deck, reference_energies
 from repro.kernels.stencil import StencilProblem, laplacian_reference
 from repro.kernels.stencil.kernel import laplacian_kernel
@@ -49,6 +54,14 @@ def test_bench_hartreefock_schwarz_screening(benchmark):
 
     fraction = benchmark(run)
     assert 0 < fraction < 1
+
+
+def test_bench_hartreefock_fock_quadruple_16(benchmark):
+    """Batched-ERI unique-quadruple Fock build on the 16-atom helium system."""
+    system = make_helium_system(16, 3)
+    fock = benchmark(fock_quadruple_reference, system)
+    assert fock.shape == (16, 16)
+    assert np.all(np.isfinite(fock))
 
 
 def test_bench_functional_executor_stencil(benchmark):

@@ -81,11 +81,25 @@ class Backend:
         """Return the lowering profile for this backend on *gpu*."""
         raise NotImplementedError
 
+    def cached_profile(self, spec: GPUSpec) -> CompilerProfile:
+        """Per-GPU memo of :meth:`compiler_profile`.
+
+        Profiles are frozen value objects, so reusing one instance per GPU is
+        safe and keeps the sweep hot path (compile → cache lookup) free of
+        repeated profile construction.
+        """
+        cache = self.__dict__.setdefault("_profile_cache", {})
+        profile = cache.get(spec.name)
+        if profile is None:
+            profile = self.compiler_profile(spec)
+            cache[spec.name] = profile
+        return profile
+
     def compile(self, model: KernelModel, gpu, *, launch: Optional[LaunchConfig] = None,
                 fast_math: bool = False) -> CompiledKernel:
-        """Compile a kernel model for *gpu*."""
+        """Compile a kernel model for *gpu* (memoised via the compile cache)."""
         spec = self.require_support(gpu)
-        profile = self.compiler_profile(spec)
+        profile = self.cached_profile(spec)
         return compile_kernel(
             model, profile, fast_math=fast_math, launch=launch,
             backend_name=self.name,

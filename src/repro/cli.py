@@ -8,6 +8,11 @@ Subcommands
     Run one or more experiments (or ``all``) and print their reports.
 ``info``
     Show the simulated hardware and backend registry.
+``bench-compare``
+    Guard the host-execution microbenchmarks against performance
+    regressions: compare a pytest-benchmark export (running the benchmarks
+    when none is supplied) against ``benchmarks/baseline.json`` and fail on
+    any regression beyond the threshold.
 """
 
 from __future__ import annotations
@@ -47,6 +52,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit markdown instead of plain text")
 
     sub.add_parser("info", help="show simulated GPUs and backends")
+
+    bench_p = sub.add_parser(
+        "bench-compare",
+        help="compare host-execution benchmarks against the stored baseline")
+    bench_p.add_argument("--baseline", default=None,
+                         help="baseline JSON (default benchmarks/baseline.json)")
+    bench_p.add_argument("--current", default=None,
+                         help="existing pytest-benchmark JSON export to check; "
+                              "omitted: run the benchmarks now")
+    bench_p.add_argument("--threshold", type=float, default=None,
+                         help="failure factor (default 2.0: fail when a "
+                              "benchmark is more than 2x slower)")
+    bench_p.add_argument("--update", action="store_true",
+                         help="write the measured stats as the new baseline "
+                              "instead of failing on regressions")
     return parser
 
 
@@ -95,6 +115,76 @@ def _cmd_run(ids: List[str], *, full: bool, verify: bool, markdown: bool) -> int
     return status
 
 
+def _run_host_benchmarks(bench_file: str) -> str:
+    """Run the host-execution benchmarks, returning the JSON export path."""
+    import subprocess
+    import tempfile
+
+    out = tempfile.NamedTemporaryFile(prefix="repro-bench-", suffix=".json",
+                                      delete=False)
+    out.close()
+    cmd = [sys.executable, "-m", "pytest", bench_file, "-q",
+           "--benchmark-json", out.name]
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        print(f"benchmark run failed (exit {proc.returncode}): {' '.join(cmd)}",
+              file=sys.stderr)
+        raise SystemExit(proc.returncode or 1)
+    return out.name
+
+
+def _cmd_bench_compare(*, baseline: Optional[str], current: Optional[str],
+                       threshold: Optional[float], update: bool) -> int:
+    from .core.errors import ConfigurationError
+    from .harness import benchcheck
+
+    try:
+        return _bench_compare_inner(benchcheck, baseline=baseline,
+                                    current=current, threshold=threshold,
+                                    update=update)
+    except ConfigurationError as exc:
+        print(f"bench-compare: {exc}", file=sys.stderr)
+        return 2
+
+
+def _bench_compare_inner(benchcheck, *, baseline: Optional[str],
+                         current: Optional[str], threshold: Optional[float],
+                         update: bool) -> int:
+    import os
+
+    baseline_path = baseline or benchcheck.DEFAULT_BASELINE_PATH
+    threshold = threshold if threshold is not None else benchcheck.DEFAULT_THRESHOLD
+    if current is None:
+        current_path = _run_host_benchmarks(benchcheck.DEFAULT_BENCH_FILE)
+        try:
+            current_stats = benchcheck.load_stats(current_path)
+        finally:
+            try:
+                os.unlink(current_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+    else:
+        current_stats = benchcheck.load_stats(current)
+
+    if update:
+        benchcheck.write_baseline(baseline_path, current_stats)
+        print(f"wrote {len(current_stats)} benchmark baselines to {baseline_path}")
+        return 0
+
+    baseline_stats = benchcheck.load_stats(baseline_path)
+    rows = benchcheck.compare_benchmarks(baseline_stats, current_stats,
+                                         threshold=threshold)
+    print(f"bench-compare against {baseline_path} (threshold {threshold:g}x):")
+    for row in rows:
+        print(row.to_text())
+    failures = [r for r in rows if r.regressed]
+    if failures:
+        print(f"{len(failures)} benchmark(s) regressed more than "
+              f"{threshold:g}x", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -106,6 +196,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _cmd_run(args.ids, full=args.full, verify=args.verify,
                         markdown=args.markdown)
+    if args.command == "bench-compare":
+        return _cmd_bench_compare(baseline=args.baseline, current=args.current,
+                                  threshold=args.threshold, update=args.update)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -180,23 +180,34 @@ class ThreadState:
 _tls = threading.local()
 
 
+class _Binder:
+    """Context manager binding one :class:`ThreadState` to the OS thread.
+
+    A module-level class: building a throwaway class object per bind (the
+    previous implementation) costs more than the entire bind/unbind.
+    """
+
+    __slots__ = ("state", "prev")
+
+    def __init__(self, state: Optional[ThreadState]):
+        self.state = state
+
+    def __enter__(self):
+        self.prev = getattr(_tls, "state", None)
+        _tls.state = self.state
+        return self.state
+
+    def __exit__(self, *exc):
+        _tls.state = self.prev
+        return False
+
+
 def bind_thread_state(state: Optional[ThreadState]):
     """Bind *state* as the active thread state for the calling OS thread.
 
     Returns a context manager so executors can use ``with bind_thread_state(s):``.
     """
-
-    class _Binder:
-        def __enter__(self):
-            self.prev = getattr(_tls, "state", None)
-            _tls.state = state
-            return state
-
-        def __exit__(self, *exc):
-            _tls.state = self.prev
-            return False
-
-    return _Binder()
+    return _Binder(state)
 
 
 def current_thread_state() -> ThreadState:
@@ -211,7 +222,15 @@ def current_thread_state() -> ThreadState:
 
 
 class _IndexProxy:
-    """Module-level proxy exposing ``.x/.y/.z`` of the active thread state."""
+    """Module-level proxy exposing ``.x/.y/.z`` of the active thread state.
+
+    The accessors read ``_tls.state`` directly rather than going through
+    :func:`current_thread_state`: index reads are the hottest operation of the
+    functional simulator (every simulated thread starts by computing its
+    global index), so each saved Python frame is measurable.  The
+    ``AttributeError`` fallback covers the unbound case (``_tls.state``
+    missing or ``None``) and converts it into the usual :class:`LaunchError`.
+    """
 
     __slots__ = ("_attr",)
 
@@ -223,15 +242,24 @@ class _IndexProxy:
 
     @property
     def x(self) -> int:
-        return self._dim().x
+        try:
+            return getattr(_tls.state, self._attr).x
+        except AttributeError:
+            return self._dim().x
 
     @property
     def y(self) -> int:
-        return self._dim().y
+        try:
+            return getattr(_tls.state, self._attr).y
+        except AttributeError:
+            return self._dim().y
 
     @property
     def z(self) -> int:
-        return self._dim().z
+        try:
+            return getattr(_tls.state, self._attr).z
+        except AttributeError:
+            return self._dim().z
 
     @property
     def total(self) -> int:

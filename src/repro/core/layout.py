@@ -152,7 +152,8 @@ class LayoutTensor:
         Verify every access against the layout (default True).
     """
 
-    __slots__ = ("dtype", "layout", "_data", "mut", "bounds_check", "name")
+    __slots__ = ("dtype", "layout", "_data", "mut", "bounds_check", "name",
+                 "_strides", "_f64")
 
     def __init__(self, dtype, layout: Layout, storage, *, mut: bool = True,
                  bounds_check: bool = True, name: str = ""):
@@ -161,6 +162,13 @@ class LayoutTensor:
         self.mut = bool(mut)
         self.bounds_check = bool(bounds_check)
         self.name = name
+        # Cached for the unchecked fast path; per-element indexing inside
+        # simulated kernels is the executor's hottest operation.  float64
+        # reads return a Python float (identical IEEE-754 double semantics,
+        # much cheaper downstream arithmetic); narrower dtypes keep their
+        # NumPy scalar so per-operation rounding is preserved.
+        self._strides = layout.strides
+        self._f64 = self.dtype.name == "float64"
         data = _storage_array(storage)
         if data.size < layout.size:
             raise LayoutError(
@@ -197,27 +205,55 @@ class LayoutTensor:
         return self._data
 
     # ------------------------------------------------------------------ access
-    def _resolve(self, index) -> int:
-        if not isinstance(index, tuple):
-            index = (index,)
-        if self.bounds_check:
-            return self.layout.offset(*index)
-        off = 0
-        for x, s in zip(index, self.layout.strides):
-            off += int(x) * s
-        return off
-
+    # __getitem__/__setitem__ each carry a full copy of the index-resolution
+    # logic (bounds-checked via Layout.offset, otherwise rank-specialised
+    # stride arithmetic): an element access runs once per simulated GPU
+    # thread, so the call frame a shared resolver helper would cost is
+    # measurable in the functional-executor benchmarks.  Keep both copies in
+    # sync when changing indexing semantics.
     def __getitem__(self, index):
-        return self._data[self._resolve(index)]
+        if self.bounds_check:
+            off = (self.layout.offset(*index) if type(index) is tuple
+                   else self.layout.offset(index))
+        elif type(index) is tuple:
+            s = self._strides
+            if len(index) == 3:
+                off = index[0] * s[0] + index[1] * s[1] + index[2] * s[2]
+            elif len(index) == 2:
+                off = index[0] * s[0] + index[1] * s[1]
+            else:
+                off = 0
+                for x, st in zip(index, s):
+                    off += x * st
+        else:
+            off = index * self._strides[0]
+        if self._f64:
+            return self._data.item(off)
+        return self._data[off]
 
     def __setitem__(self, index, value):
         if not self.mut:
             raise LayoutError(f"tensor {self.name or '<anonymous>'} is immutable")
-        self._data[self._resolve(index)] = value
+        if self.bounds_check:
+            off = (self.layout.offset(*index) if type(index) is tuple
+                   else self.layout.offset(index))
+        elif type(index) is tuple:
+            s = self._strides
+            if len(index) == 3:
+                off = index[0] * s[0] + index[1] * s[1] + index[2] * s[2]
+            elif len(index) == 2:
+                off = index[0] * s[0] + index[1] * s[1]
+            else:
+                off = 0
+                for x, st in zip(index, s):
+                    off += x * st
+        else:
+            off = index * self._strides[0]
+        self._data[off] = value
 
     def load(self, *index):
         """Element load, explicit-call form of ``__getitem__``."""
-        return self._data[self._resolve(tuple(index))]
+        return self[index]
 
     def store(self, value, *index) -> None:
         """Element store, explicit-call form of ``__setitem__``."""

@@ -7,16 +7,42 @@ its own ``thread_idx`` / ``block_idx``).  Two execution modes exist:
 ``sequential``
     Threads of a block run one after another in a plain Python loop.  Correct
     for any kernel that does not rely on intra-block synchronisation
-    (``barrier``) for data exchange through shared memory.
+    (``barrier``) for data exchange through shared memory.  One mutable
+    :class:`~repro.core.intrinsics.ThreadState` is reused for every simulated
+    thread (only ``thread_idx`` / ``block_idx`` are rebound), so the per-thread
+    overhead is a single kernel-body call.
 
 ``cooperative``
-    Every thread of a block runs on its own OS thread, synchronised by a real
-    :class:`threading.Barrier`.  Required for kernels such as BabelStream's
-    ``Dot`` reduction that communicate through shared memory across barriers.
+    A pool of ``threads_per_block`` OS worker threads is spawned once per
+    launch and processes *all* blocks of the grid, synchronised by one
+    reusable :class:`threading.Barrier` (an extra barrier wait at the end of
+    each block keeps the pool in lockstep across block boundaries).  Required
+    for kernels such as BabelStream's ``Dot`` reduction that communicate
+    through shared memory across barriers.  The pre-overhaul implementation
+    spawned ``threads_per_block`` fresh OS threads for *every block*, which
+    made cooperative launches ``O(num_blocks)`` thread creations.
 
-The executor is a *functional* simulator: it computes the right answer and
-counts events (threads, barriers, atomics).  Kernel *durations* come from the
-analytic model in :mod:`repro.gpu.timing`, not from Python wall-clock.
+Execution-mode / performance envelope
+-------------------------------------
+The functional simulator exists to check *correctness* of per-thread kernel
+code; it executes one Python call per simulated thread, so its throughput is
+roughly a few hundred thousand threads per second (sequential mode) and far
+less in cooperative mode.  Choose the cheapest tool that answers the
+question:
+
+* **Functional simulation** (this module) — bit-accurate per-thread semantics,
+  atomics and barriers; use for small grids (≤ ~10^5 threads) in tests.
+* **Vectorized references** (``repro.kernels.*.reference``) — NumPy-evaluated
+  whole-problem numerics (e.g. the batched ERI engine); use to validate
+  results at realistic problem sizes.
+* **Timing model** (:mod:`repro.gpu.timing` via the backends) — predicted
+  device durations for the paper's figures and tables; no functional
+  execution at all, so problem size is irrelevant.
+
+Event counting uses per-worker local tallies that are merged into the shared
+:class:`ExecutionCounters` once per block, so no lock is taken per event.
+Kernel *durations* come from the analytic model in :mod:`repro.gpu.timing`,
+not from Python wall-clock.
 """
 
 from __future__ import annotations
@@ -24,18 +50,25 @@ from __future__ import annotations
 import inspect
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import LaunchError
 from ..core.intrinsics import Dim3, ThreadState, bind_thread_state
 from ..core.kernel import Kernel, LaunchConfig
 
-__all__ = ["ExecutionCounters", "ExecutionResult", "KernelExecutor"]
+__all__ = ["ExecutionCounters", "ExecutionResult", "KernelExecutor",
+           "kernel_uses_barrier"]
 
 
 class ExecutionCounters:
-    """Event counters shared by all threads of one launch."""
+    """Event counters shared by all threads of one launch.
+
+    The executor itself accumulates events on per-worker :class:`_LocalTally`
+    objects and calls :meth:`merge` once per block; the per-event ``record_*``
+    methods remain for direct use (and for code that instruments a single
+    simulated thread by hand).
+    """
 
     __slots__ = ("threads_run", "blocks_run", "barriers", "atomics", "_lock")
 
@@ -62,6 +95,15 @@ class ExecutionCounters:
         with self._lock:
             self.blocks_run += 1
 
+    def merge(self, threads_run: int = 0, blocks_run: int = 0,
+              barriers: int = 0, atomics: int = 0) -> None:
+        """Fold a batch of event counts in under a single lock acquisition."""
+        with self._lock:
+            self.threads_run += threads_run
+            self.blocks_run += blocks_run
+            self.barriers += barriers
+            self.atomics += atomics
+
     def as_dict(self) -> Dict[str, int]:
         return {
             "threads_run": self.threads_run,
@@ -69,6 +111,39 @@ class ExecutionCounters:
             "barriers": self.barriers,
             "atomics": self.atomics,
         }
+
+
+class _LocalTally:
+    """Lock-free per-worker event counts, merged into ExecutionCounters.
+
+    Exposes the same ``record_barrier`` / ``record_atomic`` interface the
+    intrinsics and atomics call on ``state.counters``, but owned by exactly
+    one OS thread so plain integer increments suffice.
+    """
+
+    __slots__ = ("threads_run", "blocks_run", "barriers", "atomics")
+
+    def __init__(self):
+        self.threads_run = 0
+        self.blocks_run = 0
+        self.barriers = 0
+        self.atomics = 0
+
+    def record_barrier(self) -> None:
+        self.barriers += 1
+
+    def record_atomic(self) -> None:
+        self.atomics += 1
+
+    def flush(self, counters: ExecutionCounters) -> None:
+        """Merge this tally into *counters* and reset it."""
+        if self.threads_run or self.blocks_run or self.barriers or self.atomics:
+            counters.merge(self.threads_run, self.blocks_run,
+                           self.barriers, self.atomics)
+            self.threads_run = 0
+            self.blocks_run = 0
+            self.barriers = 0
+            self.atomics = 0
 
 
 @dataclass
@@ -100,12 +175,29 @@ def _iter_dim3(extent: Dim3):
 
 
 def kernel_uses_barrier(kern: Kernel) -> bool:
-    """Heuristic: does the kernel body call ``barrier`` or allocate shared memory?"""
+    """Heuristic: does the kernel body call ``barrier`` or allocate shared memory?
+
+    The result is cached on the underlying function object (covering both the
+    :class:`Kernel` wrapper and re-wraps of the same plain callable), so the
+    ``inspect.getsource`` walk runs once per kernel instead of once per
+    launch.
+    """
+    fn = kern.fn if isinstance(kern, Kernel) else kern
+    cached = getattr(fn, "_repro_uses_barrier", None)
+    if cached is not None:
+        return cached
     try:
-        src = inspect.getsource(kern.fn)
+        src = inspect.getsource(fn)
     except (OSError, TypeError):
-        return True  # be safe: unknown source -> cooperative
-    return ("barrier(" in src) or ("stack_allocation" in src) or ("shared_array" in src)
+        uses = True  # be safe: unknown source -> cooperative
+    else:
+        uses = ("barrier(" in src) or ("stack_allocation" in src) \
+            or ("shared_array" in src)
+    try:
+        fn._repro_uses_barrier = uses
+    except (AttributeError, TypeError):  # pragma: no cover - exotic callables
+        pass
+    return uses
 
 
 class KernelExecutor:
@@ -164,7 +256,6 @@ class KernelExecutor:
 
         counters = ExecutionCounters()
         start = time.perf_counter()
-        max_shared = 0
         if mode == "sequential":
             max_shared = self._run_sequential(kern, args, launch, counters)
         else:
@@ -182,68 +273,103 @@ class KernelExecutor:
 
     # ----------------------------------------------------------- sequential
     def _run_sequential(self, kern, args, launch, counters) -> int:
+        fn = kern.fn
+        blocks = tuple(_iter_dim3(launch.grid_dim))
+        threads = tuple(_iter_dim3(launch.block_dim))
+        tally = _LocalTally()
         max_shared = 0
-        for block in _iter_dim3(launch.grid_dim):
-            block_shared: Dict[str, "np.ndarray"] = {}
-            counters.record_block()
-            for thread in _iter_dim3(launch.block_dim):
-                state = ThreadState(
-                    thread_idx=thread,
-                    block_idx=block,
-                    block_dim=launch.block_dim,
-                    grid_dim=launch.grid_dim,
-                    block_shared=block_shared,
-                    block_barrier=None,
-                    counters=counters,
-                )
-                with bind_thread_state(state):
-                    kern(*args)
-                counters.record_thread()
-            max_shared = max(max_shared, _shared_bytes(block_shared))
+        # One mutable ThreadState reused for every simulated thread: only the
+        # indices and the per-thread shared-allocation cursor are rebound.
+        state = ThreadState(
+            thread_idx=threads[0],
+            block_idx=blocks[0],
+            block_dim=launch.block_dim,
+            grid_dim=launch.grid_dim,
+            block_shared={},
+            block_barrier=None,
+            counters=tally,
+        )
+        with bind_thread_state(state):
+            for block in blocks:
+                block_shared: Dict[str, "np.ndarray"] = {}
+                state.block_idx = block
+                state.block_shared = block_shared
+                tally.blocks_run += 1
+                for thread in threads:
+                    state.thread_idx = thread
+                    state._shared_seq = 0
+                    fn(*args)
+                tally.threads_run += len(threads)
+                shared = _shared_bytes(block_shared)
+                if shared > max_shared:
+                    max_shared = shared
+                tally.flush(counters)
         return max_shared
 
     # ---------------------------------------------------------- cooperative
     def _run_cooperative(self, kern, args, launch, counters) -> int:
+        fn = kern.fn
         nthreads = launch.threads_per_block
-        max_shared = 0
-        for block in _iter_dim3(launch.grid_dim):
-            block_shared: Dict[str, "np.ndarray"] = {}
-            barrier = threading.Barrier(nthreads)
-            errors: List[BaseException] = []
-            err_lock = threading.Lock()
-            counters.record_block()
+        blocks = tuple(_iter_dim3(launch.grid_dim))
+        threads = tuple(_iter_dim3(launch.block_dim))
+        barrier = threading.Barrier(nthreads)
+        block_shared_dicts = [dict() for _ in blocks]
+        errors: List[Tuple[BaseException, Dim3]] = []
+        err_lock = threading.Lock()
+        max_shared = [0]
 
-            def worker(thread: Dim3):
-                state = ThreadState(
-                    thread_idx=thread,
-                    block_idx=block,
-                    block_dim=launch.block_dim,
-                    grid_dim=launch.grid_dim,
-                    block_shared=block_shared,
-                    block_barrier=barrier,
-                    counters=counters,
-                )
-                try:
-                    with bind_thread_state(state):
-                        kern(*args)
-                    counters.record_thread()
-                except BaseException as exc:  # noqa: BLE001 - surfaced below
-                    with err_lock:
-                        errors.append(exc)
-                    barrier.abort()
+        def worker(wid: int, thread: Dim3):
+            tally = _LocalTally()
+            state = ThreadState(
+                thread_idx=thread,
+                block_idx=blocks[0],
+                block_dim=launch.block_dim,
+                grid_dim=launch.grid_dim,
+                block_shared=block_shared_dicts[0],
+                block_barrier=barrier,
+                counters=tally,
+            )
+            try:
+                with bind_thread_state(state):
+                    for bi, block in enumerate(blocks):
+                        state.block_idx = block
+                        state.block_shared = block_shared_dicts[bi]
+                        state._shared_seq = 0
+                        fn(*args)
+                        tally.threads_run += 1
+                        # Lockstep across the block boundary: without this
+                        # wait a fast worker could enter block bi+1 and its
+                        # kernel-internal barriers would pair with slow
+                        # workers still inside block bi.
+                        barrier.wait()
+                        if wid == 0:
+                            tally.blocks_run += 1
+                            shared = _shared_bytes(block_shared_dicts[bi])
+                            if shared > max_shared[0]:
+                                max_shared[0] = shared
+                            block_shared_dicts[bi].clear()
+                        tally.flush(counters)
+            except threading.BrokenBarrierError:
+                pass  # another worker failed; shut down quietly
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                with err_lock:
+                    errors.append((exc, state.block_idx))
+                barrier.abort()
+            finally:
+                tally.flush(counters)
 
-            workers = [threading.Thread(target=worker, args=(t,), daemon=True)
-                       for t in _iter_dim3(launch.block_dim)]
-            for w in workers:
-                w.start()
-            for w in workers:
-                w.join()
-            if errors:
-                raise LaunchError(
-                    f"kernel {kern.name!r} raised in block {block}: {errors[0]!r}"
-                ) from errors[0]
-            max_shared = max(max_shared, _shared_bytes(block_shared))
-        return max_shared
+        workers = [threading.Thread(target=worker, args=(w, t), daemon=True)
+                   for w, t in enumerate(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        if errors:
+            exc, block = errors[0]
+            raise LaunchError(
+                f"kernel {kern.name!r} raised in block {block}: {exc!r}"
+            ) from exc
+        return max_shared[0]
 
 
 def _shared_bytes(block_shared: Dict) -> int:

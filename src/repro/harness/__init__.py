@@ -1,5 +1,12 @@
 """Experiment harness: results, paper data, comparisons, sweeps, plotting."""
 
+from .benchcheck import (
+    BenchComparison,
+    compare_benchmarks,
+    extract_stats,
+    load_stats,
+    write_baseline,
+)
 from .compare import (
     ordering_comparison,
     qualitative_comparison,
@@ -22,6 +29,8 @@ from .runner import BenchmarkRunner, Measurement, MeasurementProtocol
 from .sweep import Sweep, sweep
 
 __all__ = [
+    "BenchComparison", "compare_benchmarks", "extract_stats", "load_stats",
+    "write_baseline",
     "ordering_comparison", "qualitative_comparison", "ratio_comparison", "within_band",
     "FIGURE_EXPECTATIONS", "TABLE1_HARDWARE", "TABLE2_STENCIL_NCU",
     "TABLE3_BABELSTREAM_NCU", "TABLE4_HARTREE_FOCK_MS", "TABLE5_EFFICIENCIES",

@@ -1,0 +1,144 @@
+"""Benchmark-regression guard for the host-execution microbenchmarks.
+
+``benchmarks/baseline.json`` stores a (trimmed) pytest-benchmark export of
+``benchmarks/test_host_execution.py``.  ``python -m repro bench-compare``
+re-runs those benchmarks (or takes an existing ``--benchmark-json`` export)
+and fails when any benchmark's best time regresses more than the threshold
+(default 2x) against the stored baseline — so a future change cannot silently
+give back the substrate-performance wins the baseline encodes.
+
+The comparison uses each benchmark's *minimum* sample, the most
+noise-resistant statistic for microbenchmarks, and a deliberately loose
+threshold so CI machines of different speeds do not flap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["BenchComparison", "compare_benchmarks", "extract_stats",
+           "load_stats", "write_baseline", "DEFAULT_THRESHOLD",
+           "DEFAULT_BASELINE_PATH", "DEFAULT_BENCH_FILE"]
+
+#: regression factor above which bench-compare fails
+DEFAULT_THRESHOLD = 2.0
+
+# Anchor the defaults to the repository this source tree lives in (three
+# levels up from src/repro/harness), so ``python -m repro bench-compare``
+# works from any working directory.
+_REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                          "..", "..", ".."))
+#: location of the stored baseline
+DEFAULT_BASELINE_PATH = os.path.join(_REPO_ROOT, "benchmarks", "baseline.json")
+#: the benchmark file guarded by the baseline
+DEFAULT_BENCH_FILE = os.path.join(_REPO_ROOT, "benchmarks",
+                                  "test_host_execution.py")
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Outcome of comparing one benchmark against its baseline."""
+
+    name: str
+    baseline_min_s: Optional[float]
+    current_min_s: Optional[float]
+    threshold: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current / baseline best time (> 1 means slower than baseline)."""
+        if not self.baseline_min_s or self.current_min_s is None:
+            return None
+        return self.current_min_s / self.baseline_min_s
+
+    @property
+    def status(self) -> str:
+        if not self.baseline_min_s:
+            # No baseline entry, or a degenerate (zero) baseline time that no
+            # measurement can be compared against: informational only.
+            return "new"
+        if self.current_min_s is None:
+            return "missing"      # baseline entry not exercised: warn
+        return "fail" if self.ratio > self.threshold else "ok"
+
+    @property
+    def regressed(self) -> bool:
+        return self.status == "fail"
+
+    def to_text(self) -> str:
+        base = f"{self.baseline_min_s * 1e3:9.3f} ms" if self.baseline_min_s else "        --"
+        cur = f"{self.current_min_s * 1e3:9.3f} ms" if self.current_min_s else "        --"
+        ratio = f"{self.ratio:6.2f}x" if self.ratio is not None else "     --"
+        return f"  [{self.status:>7s}] {self.name:<45s} base={base} now={cur} {ratio}"
+
+
+def extract_stats(export: Dict) -> Dict[str, Dict[str, float]]:
+    """Trim a pytest-benchmark JSON export down to ``name -> {min, mean}``.
+
+    Accepts both the full export (``{"benchmarks": [...]}``) and an
+    already-trimmed mapping, so baselines stay readable and diff-friendly.
+    """
+    if "benchmarks" in export:
+        out: Dict[str, Dict[str, float]] = {}
+        for bench in export["benchmarks"]:
+            stats = bench.get("stats", {})
+            out[bench["name"]] = {
+                "min": float(stats["min"]),
+                "mean": float(stats["mean"]),
+            }
+        return out
+    return {name: {"min": float(s["min"]), "mean": float(s["mean"])}
+            for name, s in export.items()}
+
+
+def load_stats(path: str) -> Dict[str, Dict[str, float]]:
+    """Load and trim a benchmark export / baseline file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        raise ConfigurationError(
+            f"benchmark data file {path!r} not found; generate one with "
+            "pytest --benchmark-json or 'python -m repro bench-compare --update'"
+        )
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"cannot parse benchmark data {path!r}: {exc}")
+    return extract_stats(data)
+
+
+def write_baseline(path: str, stats: Dict[str, Dict[str, float]]) -> None:
+    """Store trimmed benchmark stats as the new baseline."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(stats, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def compare_benchmarks(
+    baseline: Dict[str, Dict[str, float]],
+    current: Dict[str, Dict[str, float]],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[BenchComparison]:
+    """Compare two trimmed stat mappings, benchmark by benchmark.
+
+    Returns one :class:`BenchComparison` per benchmark seen in either input,
+    ordered baseline-first so reports stay stable.
+    """
+    if threshold <= 1.0:
+        raise ConfigurationError(
+            f"bench-compare threshold must exceed 1.0, got {threshold}")
+    names = list(baseline) + [n for n in current if n not in baseline]
+    return [
+        BenchComparison(
+            name=name,
+            baseline_min_s=baseline.get(name, {}).get("min"),
+            current_min_s=current.get(name, {}).get("min"),
+            threshold=threshold,
+        )
+        for name in names
+    ]

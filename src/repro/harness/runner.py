@@ -4,6 +4,26 @@ The workload runners already model kernel durations; this module provides the
 measurement protocol around *host-side* execution used by the examples and
 the pytest benchmarks: run a callable with warm-up iterations discarded and
 repeated measurements summarised per the paper's methodology.
+
+What to measure with what
+-------------------------
+Three execution substrates coexist in this repository, with very different
+performance envelopes; this runner only ever times the first two:
+
+* **Vectorized references** (``repro.kernels.*.reference``, e.g. the batched
+  ERI engine behind ``fock_quadruple_reference``) — NumPy-speed whole-problem
+  numerics.  The right choice for timing real host work at realistic sizes.
+* **Functional simulation** (:mod:`repro.gpu.executor`) — one Python call per
+  simulated GPU thread.  Only meaningful to *benchmark* as a guard on the
+  simulator's own overhead (see ``benchmarks/test_host_execution.py``); keep
+  grids small (≤ ~10^5 threads).
+* **The timing model** (:mod:`repro.gpu.timing`) — produces *predicted*
+  device durations analytically.  Never wall-clock it for paper numbers; its
+  host cost is bounded by the memoised compile pipeline
+  (:func:`repro.core.compiler.compile_kernel`).
+
+Regressions in these measured paths are guarded by ``benchmarks/baseline.json``
+via ``python -m repro bench-compare`` (see :mod:`repro.harness.benchcheck`).
 """
 
 from __future__ import annotations
@@ -35,19 +55,32 @@ class MeasurementProtocol:
 
 @dataclass
 class Measurement:
-    """Result of measuring one callable."""
+    """Result of measuring one callable.
+
+    The derived statistics are computed once per measurement on first access
+    (the samples are fixed once the protocol finishes); appending further
+    samples by hand invalidates nothing, so do that before reading them.
+    """
 
     name: str
     samples_s: List[float] = field(default_factory=list)
     result: object = None
+    _stats: Optional[RunStatistics] = field(default=None, init=False,
+                                            repr=False, compare=False)
+    _best_s: Optional[float] = field(default=None, init=False,
+                                     repr=False, compare=False)
 
     @property
     def statistics(self) -> RunStatistics:
-        return summarize(self.samples_s)
+        if self._stats is None:
+            self._stats = summarize(self.samples_s)
+        return self._stats
 
     @property
     def best_s(self) -> float:
-        return min(self.samples_s)
+        if self._best_s is None:
+            self._best_s = min(self.samples_s)
+        return self._best_s
 
     @property
     def mean_s(self) -> float:

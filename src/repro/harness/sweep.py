@@ -23,6 +23,9 @@ class Sweep:
     parameters: Dict[str, List[object]] = field(default_factory=dict)
     #: predicate applied to each candidate configuration
     constraint: Optional[Callable[[Mapping[str, object]], bool]] = None
+    #: cached configuration count (invalidated by :meth:`add` / :meth:`where`)
+    _count: Optional[int] = field(default=None, init=False, repr=False,
+                                  compare=False)
 
     def add(self, name: str, values: Iterable[object]) -> "Sweep":
         values = list(values)
@@ -31,6 +34,7 @@ class Sweep:
         if name in self.parameters:
             raise ConfigurationError(f"sweep parameter {name!r} already defined")
         self.parameters[name] = values
+        self._count = None
         return self
 
     def where(self, predicate: Callable[[Mapping[str, object]], bool]) -> "Sweep":
@@ -43,6 +47,7 @@ class Sweep:
             return predicate(cfg)
 
         self.constraint = combined if previous is not None else predicate
+        self._count = None
         return self
 
     # ------------------------------------------------------------------ iterate
@@ -60,11 +65,41 @@ class Sweep:
         return list(iter(self))
 
     def __len__(self) -> int:
-        return len(self.configurations())
+        """Number of (filtered) configurations, counted lazily and cached.
 
-    def run(self, fn: Callable[..., object]) -> List[object]:
-        """Call ``fn(**configuration)`` for every configuration, in order."""
-        return [fn(**cfg) for cfg in self]
+        Without a constraint the count is the product of the parameter list
+        lengths — no configuration dicts are built at all.  With a constraint
+        the candidates are streamed through the predicate without
+        materialising the configuration list.
+        """
+        if self._count is None:
+            if not self.parameters:
+                raise ConfigurationError("cannot iterate an empty sweep")
+            if self.constraint is None:
+                count = 1
+                for values in self.parameters.values():
+                    count *= len(values)
+            else:
+                count = sum(1 for _ in self)
+            self._count = count
+        return self._count
+
+    def run(self, fn: Callable[..., object], *,
+            workers: Optional[int] = None) -> List[object]:
+        """Call ``fn(**configuration)`` for every configuration.
+
+        With ``workers=N`` (N > 1) the configurations are evaluated on a
+        thread pool; the returned list always preserves configuration order
+        regardless of completion order.  The default remains strictly
+        sequential.
+        """
+        if workers is None or workers <= 1:
+            return [fn(**cfg) for cfg in self]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(fn, **cfg) for cfg in self]
+            return [f.result() for f in futures]
 
 
 def sweep(**parameters: Iterable[object]) -> Sweep:

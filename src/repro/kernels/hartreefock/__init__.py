@@ -9,10 +9,17 @@ from .basis import (
     make_helium_system,
     triangular_pairs,
 )
-from .eri import boys_f0, boys_f0_array, contracted_eri, pair_schwarz
+from .eri import (
+    boys_f0,
+    boys_f0_array,
+    contracted_eri,
+    contracted_eri_batch,
+    pair_schwarz,
+)
 from .kernel import (
     SCHWARZ_TOLERANCE,
     decode_pair,
+    decode_pair_array,
     hartree_fock_kernel,
     hartree_fock_kernel_model,
 )
@@ -34,9 +41,10 @@ from .runner import (
 __all__ = [
     "HeSystem", "STO3G_HE_COEFFS", "STO3G_HE_EXPONENTS", "STO6G_HE_COEFFS",
     "STO6G_HE_EXPONENTS", "make_helium_system", "triangular_pairs",
-    "boys_f0", "boys_f0_array", "contracted_eri", "pair_schwarz",
-    "SCHWARZ_TOLERANCE", "decode_pair", "hartree_fock_kernel",
-    "hartree_fock_kernel_model",
+    "boys_f0", "boys_f0_array", "contracted_eri", "contracted_eri_batch",
+    "pair_schwarz",
+    "SCHWARZ_TOLERANCE", "decode_pair", "decode_pair_array",
+    "hartree_fock_kernel", "hartree_fock_kernel_model",
     "eri_tensor", "fock_direct_reference", "fock_quadruple_reference",
     "symmetrize", "verify_fock",
     "HartreeFockResult", "compute_schwarz", "run_hartreefock",

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ...core.atomics import Atomic
 from ...core.dtypes import DType
 from ...core.intrinsics import block_dim, block_idx, thread_idx
@@ -18,7 +20,7 @@ from ...core.kernel import KernelModel, MemoryPattern, kernel
 from .eri import boys_f0, TWO_PI_POW_2_5
 
 __all__ = ["hartree_fock_kernel", "hartree_fock_kernel_model",
-           "decode_pair", "SCHWARZ_TOLERANCE"]
+           "decode_pair", "decode_pair_array", "SCHWARZ_TOLERANCE"]
 
 #: default Schwarz screening tolerance (matches the proxy's dtol)
 SCHWARZ_TOLERANCE = 1e-9
@@ -35,6 +37,29 @@ def decode_pair(idx: int) -> tuple:
         row += 1
     while row * (row + 1) // 2 > idx:
         row -= 1
+    col = idx - row * (row + 1) // 2
+    return row, col
+
+
+def decode_pair_array(idx) -> tuple:
+    """Vectorised :func:`decode_pair`: decode an array of triangular indices.
+
+    Returns ``(row, col)`` int64 arrays with ``row >= col`` elementwise.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    row = ((np.sqrt(8.0 * idx + 1.0) - 1.0) / 2.0).astype(np.int64)
+    # Same rounding guards as the scalar decode, applied until stable (at
+    # most a couple of iterations for any representable index).
+    while True:
+        low = (row + 1) * (row + 2) // 2 <= idx
+        if not low.any():
+            break
+        row[low] += 1
+    while True:
+        high = row * (row + 1) // 2 > idx
+        if not high.any():
+            break
+        row[high] -= 1
     col = idx - row * (row + 1) // 2
     return row, col
 

@@ -18,26 +18,37 @@ import numpy as np
 
 from ...core.errors import VerificationError
 from .basis import HeSystem
-from .eri import contracted_eri
-from .kernel import SCHWARZ_TOLERANCE, decode_pair
+from .eri import contracted_eri_batch
+from .kernel import SCHWARZ_TOLERANCE, decode_pair_array
 
 __all__ = ["eri_tensor", "fock_direct_reference", "fock_quadruple_reference",
            "symmetrize", "verify_fock"]
 
 
-def eri_tensor(system: HeSystem) -> np.ndarray:
-    """Full (natoms^4) ERI tensor; intended for small validation systems."""
+#: quadruples evaluated per vectorised batch by the reference builders;
+#: bounds the peak memory of the ``ngauss^4`` primitive intermediates
+ERI_BATCH_CHUNK = 65536
+
+
+def eri_tensor(system: HeSystem, *, chunk: int = ERI_BATCH_CHUNK) -> np.ndarray:
+    """Full (natoms^4) ERI tensor; intended for small validation systems.
+
+    Evaluated through :func:`contracted_eri_batch` in chunks of *chunk*
+    quadruples, so only the primitive loop runs in Python.
+    """
     n = system.natoms
     geom = system.geometry
-    eri = np.zeros((n, n, n, n), dtype=np.float64)
-    for i in range(n):
-        for j in range(n):
-            for k in range(n):
-                for l in range(n):
-                    eri[i, j, k, l] = contracted_eri(
-                        geom[i], geom[j], geom[k], geom[l],
-                        system.xpnt, system.coef)
-    return eri
+    eri = np.empty(n ** 4, dtype=np.float64)
+    for start in range(0, n ** 4, chunk):
+        stop = min(start + chunk, n ** 4)
+        flat = np.arange(start, stop, dtype=np.int64)
+        i = flat // (n ** 3)
+        j = (flat // (n ** 2)) % n
+        k = (flat // n) % n
+        l = flat % n
+        eri[start:stop] = contracted_eri_batch(
+            geom[i], geom[j], geom[k], geom[l], system.xpnt, system.coef)
+    return eri.reshape(n, n, n, n)
 
 
 def fock_direct_reference(system: HeSystem,
@@ -58,8 +69,17 @@ def fock_direct_reference(system: HeSystem,
 
 def fock_quadruple_reference(system: HeSystem, *,
                              schwarz_tol: float = SCHWARZ_TOLERANCE,
-                             schwarz: np.ndarray = None) -> np.ndarray:
-    """Unique-quadruple accumulation, identical to the device kernel's math."""
+                             schwarz: np.ndarray = None,
+                             chunk: int = ERI_BATCH_CHUNK) -> np.ndarray:
+    """Unique-quadruple accumulation, identical to the device kernel's math.
+
+    The quadruple loop is evaluated in vectorised chunks: each chunk decodes
+    its triangular indices, screens with the Schwarz bounds, evaluates the
+    surviving ERIs through :func:`contracted_eri_batch` and scatters the six
+    Coulomb/exchange contributions with ``np.add.at`` (an unbuffered
+    accumulation, so repeated target indices within a chunk behave exactly
+    like the device kernel's atomics).
+    """
     n = system.natoms
     geom = system.geometry
     dens = system.dens
@@ -67,26 +87,28 @@ def fock_quadruple_reference(system: HeSystem, *,
     npairs = n * (n + 1) // 2
     nquads = npairs * (npairs + 1) // 2
 
-    for ijkl in range(nquads):
-        ij, kl = decode_pair(ijkl)
-        if schwarz is not None and schwarz[ij] * schwarz[kl] < schwarz_tol:
-            continue
-        i, j = decode_pair(ij)
-        k, l = decode_pair(kl)
-        eri = contracted_eri(geom[i], geom[j], geom[k], geom[l],
-                             system.xpnt, system.coef)
-        if i == j:
-            eri *= 0.5
-        if k == l:
-            eri *= 0.5
-        if i == k and j == l:
-            eri *= 0.5
-        fock[i, j] += dens[k, l] * eri * 4.0
-        fock[k, l] += dens[i, j] * eri * 4.0
-        fock[i, k] -= dens[j, l] * eri
-        fock[i, l] -= dens[j, k] * eri
-        fock[j, k] -= dens[i, l] * eri
-        fock[j, l] -= dens[i, k] * eri
+    for start in range(0, nquads, chunk):
+        stop = min(start + chunk, nquads)
+        ij, kl = decode_pair_array(np.arange(start, stop, dtype=np.int64))
+        if schwarz is not None:
+            keep = schwarz[ij] * schwarz[kl] >= schwarz_tol
+            ij, kl = ij[keep], kl[keep]
+            if ij.size == 0:
+                continue
+        i, j = decode_pair_array(ij)
+        k, l = decode_pair_array(kl)
+        eri = contracted_eri_batch(geom[i], geom[j], geom[k], geom[l],
+                                   system.xpnt, system.coef)
+        # Symmetry weights for the unique-quadruple formulation.
+        eri[i == j] *= 0.5
+        eri[k == l] *= 0.5
+        eri[(i == k) & (j == l)] *= 0.5
+        np.add.at(fock, (i, j), dens[k, l] * eri * 4.0)
+        np.add.at(fock, (k, l), dens[i, j] * eri * 4.0)
+        np.add.at(fock, (i, k), dens[j, l] * eri * -1.0)
+        np.add.at(fock, (i, l), dens[j, k] * eri * -1.0)
+        np.add.at(fock, (j, k), dens[i, l] * eri * -1.0)
+        np.add.at(fock, (j, l), dens[i, k] * eri * -1.0)
     return fock
 
 

@@ -64,12 +64,18 @@ def summarize(samples: Iterable[float], *, warmup: int = 0) -> RunStatistics:
     if not values:
         raise ConfigurationError("cannot summarise an empty sample set")
     arr = np.asarray(values, dtype=np.float64)
+    minimum = float(np.min(arr))
+    maximum = float(np.max(arr))
+    # Pairwise summation can land a hair outside [min, max] for constant
+    # samples (e.g. mean([1.9]*3) -> 1.8999999999999997); clamp so the
+    # invariant min <= mean <= max holds exactly.
+    mean = min(max(float(np.mean(arr)), minimum), maximum)
     return RunStatistics(
         count=int(arr.size),
-        mean=float(np.mean(arr)),
+        mean=mean,
         std=float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0,
-        minimum=float(np.min(arr)),
-        maximum=float(np.max(arr)),
+        minimum=minimum,
+        maximum=maximum,
         median=float(np.median(arr)),
         p05=float(np.percentile(arr, 5)),
         p95=float(np.percentile(arr, 95)),

@@ -146,3 +146,66 @@ class TestCompiledKernel:
         names = [p.name for p in default_pass_pipeline()]
         assert names == ["constant-promotion", "fast-math", "register-allocation",
                          "atomic-lowering", "spill-analysis"]
+
+
+class TestCompileCache:
+    """Memoisation of compile_kernel on (model, profile, fast_math, passes)."""
+
+    def setup_method(self):
+        from repro.core.compiler import clear_compile_cache
+        clear_compile_cache()
+
+    def test_identical_inputs_hit(self):
+        from repro.core.compiler import compile_cache_info
+        model = _model()
+        profile = CompilerProfile()
+        first = compile_kernel(model, profile)
+        second = compile_kernel(model, profile)
+        info = compile_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 1
+        assert first.instruction_mix == second.instruction_mix
+        assert first.registers_per_thread == second.registers_per_thread
+        # Per-call fields are fresh objects: annotating one result must not
+        # leak into the cached entry or other callers.
+        first.notes.append("local annotation")
+        assert "local annotation" not in compile_kernel(model, profile).notes
+
+    def test_mutated_model_is_a_miss_not_stale(self):
+        from repro.core.compiler import compile_cache_info
+        model = _model(flops=10)
+        profile = CompilerProfile()
+        base = compile_kernel(model, profile)
+        scaled = compile_kernel(model.scaled(flops=1000), profile)
+        assert compile_cache_info()["misses"] == 2
+        assert scaled.effective_flops_per_thread > base.effective_flops_per_thread
+
+    def test_fast_math_and_profile_are_part_of_the_key(self):
+        model = _model(transcendentals=8)
+        slow = compile_kernel(model, CompilerProfile())
+        fast = compile_kernel(model, CompilerProfile(), fast_math=True)
+        other = compile_kernel(model, CompilerProfile(int_op_scale=2.0))
+        assert fast.fast_math and not slow.fast_math
+        assert fast.effective_flops_per_thread < slow.effective_flops_per_thread
+        assert other.instruction_mix[Opcode.IADD3] > slow.instruction_mix[Opcode.IADD3]
+
+    def test_launch_is_annotated_per_call_on_hits(self):
+        from repro.core.compiler import compile_cache_info
+        model = _model()
+        profile = CompilerProfile()
+        launch_a = LaunchConfig.make(4, 64)
+        launch_b = LaunchConfig.make(8, 128)
+        a = compile_kernel(model, profile, launch=launch_a)
+        b = compile_kernel(model, profile, launch=launch_b)
+        assert compile_cache_info()["hits"] == 1
+        assert a.launch == launch_a and b.launch == launch_b
+
+    def test_pass_pipeline_identity_in_key(self):
+        from repro.core.compiler import compile_cache_info
+        model = _model()
+        profile = CompilerProfile()
+        pipeline = default_pass_pipeline()
+        compile_kernel(model, profile, passes=pipeline)
+        compile_kernel(model, profile, passes=pipeline)          # same objects
+        assert compile_cache_info()["hits"] == 1
+        compile_kernel(model, profile, passes=default_pass_pipeline())
+        assert compile_cache_info()["misses"] == 2               # fresh objects

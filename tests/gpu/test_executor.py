@@ -130,3 +130,85 @@ class TestExecutorLimits:
         counters.record_block()
         assert counters.as_dict() == {"threads_run": 1, "blocks_run": 1,
                                       "barriers": 1, "atomics": 1}
+
+
+class TestCooperativePool:
+    """Semantics of the pooled cooperative executor (one worker pool + one
+    reusable barrier processing every block of the grid)."""
+
+    def test_multiblock_reduction_matches_numpy(self, rng):
+        n, tb, blocks = 128, 16, 8
+        a = rng.normal(size=n)
+        sums = np.zeros(blocks)
+        result = KernelExecutor().launch(
+            _block_sum_kernel, (a, sums, n, tb), LaunchConfig.make(blocks, tb))
+        assert result.mode == "cooperative"
+        np.testing.assert_allclose(sums, a.reshape(blocks, tb).sum(axis=1),
+                                   rtol=1e-12)
+        # Every simulated thread ran exactly once, in every block.
+        assert result.threads_run == blocks * tb
+        assert result.blocks_run == blocks
+        # _block_sum_kernel executes log2(tb) barriers in the loop + 1 final
+        # barrier per thread; the executor's end-of-block lockstep wait is an
+        # implementation detail and must NOT be counted.
+        assert result.counters.barriers == blocks * tb * 5
+        assert result.shared_bytes_per_block == tb * 8
+
+    def test_pool_matches_sequential_for_plain_kernel(self):
+        n = 64
+        out_seq = np.full(n, -1.0)
+        out_coop = np.full(n, -1.0)
+        launch = LaunchConfig.make(4, 16)
+        r_seq = KernelExecutor().launch(_global_id_kernel, (out_seq, n), launch,
+                                        mode="sequential")
+        r_coop = KernelExecutor().launch(_global_id_kernel, (out_coop, n),
+                                         launch, mode="cooperative")
+        np.testing.assert_array_equal(out_seq, out_coop)
+        assert r_seq.threads_run == r_coop.threads_run == n
+        assert r_seq.blocks_run == r_coop.blocks_run == 4
+
+    def test_error_in_later_block_is_surfaced(self):
+        @kernel
+        def bad_in_block_two(a):
+            if block_idx.x == 2 and thread_idx.x == 0:
+                raise ValueError("boom in block 2")
+            barrier()
+
+        with pytest.raises(LaunchError, match="bad_in_block_two"):
+            KernelExecutor().launch(bad_in_block_two, (np.zeros(2),),
+                                    LaunchConfig.make(4, 4), mode="cooperative")
+
+    def test_counters_merge_batches_events(self):
+        counters = ExecutionCounters()
+        counters.merge(threads_run=7, blocks_run=2, barriers=3, atomics=11)
+        counters.merge(atomics=1)
+        assert counters.as_dict() == {"threads_run": 7, "blocks_run": 2,
+                                      "barriers": 3, "atomics": 12}
+
+
+class TestBarrierHeuristicCache:
+    def test_result_cached_on_function_object(self, monkeypatch):
+        @kernel
+        def cached_probe(a):
+            barrier()
+
+        assert kernel_uses_barrier(cached_probe) is True
+        # Second query must not re-run source inspection.
+        import inspect as inspect_mod
+
+        def exploding_getsource(fn):
+            raise AssertionError("getsource re-ran despite the cache")
+
+        monkeypatch.setattr(inspect_mod, "getsource", exploding_getsource)
+        assert kernel_uses_barrier(cached_probe) is True
+
+    def test_rewrapped_callable_shares_cache(self):
+        def plain(a):
+            a[thread_idx.x] = 1.0
+
+        assert kernel_uses_barrier(plain) is False
+        # Wrapping the same function in a fresh Kernel (what launch() does for
+        # plain callables) must reuse the cached verdict.
+        from repro.core.kernel import Kernel
+        assert kernel_uses_barrier(Kernel(plain)) is False
+        assert plain._repro_uses_barrier is False

@@ -136,3 +136,69 @@ class TestPaperData:
         stencil = TABLE5_EFFICIENCIES["stencil"]
         phi = sum(stencil.values()) / len(stencil)
         assert phi == pytest.approx(TABLE5_PHI["stencil"], abs=0.01)
+
+
+class TestSweepCountAndWorkers:
+    def test_len_without_constraint_builds_no_dicts(self):
+        s = sweep(a=[1, 2, 3], b=[10, 20], c=["x", "y"])
+        # Poison the constraint-free path: a failing predicate would be
+        # called if __len__ materialised configurations.
+        assert len(s) == 12
+
+    def test_len_cached(self):
+        calls = []
+        s = sweep(a=[1, 2, 3, 4]).where(lambda c: calls.append(1) or c["a"] > 1)
+        assert len(s) == 3
+        first_pass_calls = len(calls)
+        assert len(s) == 3
+        assert len(calls) == first_pass_calls   # second len() hit the cache
+
+    def test_len_matches_configurations_with_constraint(self):
+        s = sweep(ppwi=[1, 2, 4, 8], wg=[8, 64]).where(
+            lambda c: c["ppwi"] * c["wg"] <= 64)
+        assert len(s) == len(s.configurations())
+
+    def test_len_invalidated_by_add_and_where(self):
+        s = sweep(a=[1, 2])
+        assert len(s) == 2
+        s.add("b", [1, 2, 3])
+        assert len(s) == 6
+        s.where(lambda c: c["b"] < 3)
+        assert len(s) == 4
+
+    def test_len_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            len(Sweep())
+
+    def test_run_workers_preserves_configuration_order(self):
+        import time as time_mod
+
+        s = sweep(a=[1, 2, 3, 4], b=[10, 20])
+
+        def fn(a, b):
+            # Earlier configurations sleep longer, so completion order is the
+            # reverse of submission order.
+            time_mod.sleep(0.02 / (a * b))
+            return (a, b)
+
+        sequential = s.run(fn)
+        concurrent = s.run(fn, workers=4)
+        assert concurrent == sequential
+
+    def test_run_workers_propagates_errors(self):
+        s = sweep(a=[1, 0, 2])
+
+        def fn(a):
+            return 1 // a
+
+        with pytest.raises(ZeroDivisionError):
+            s.run(fn, workers=2)
+
+
+class TestMeasurementCaching:
+    def test_statistics_computed_once(self):
+        runner = BenchmarkRunner(MeasurementProtocol(warmup=0, repeats=3))
+        m = runner.measure("noop", lambda: None)
+        assert m.statistics is m.statistics     # same cached object
+        assert m.best_s == min(m.samples_s)
+        assert m.mean_s == pytest.approx(m.statistics.mean)

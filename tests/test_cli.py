@@ -51,3 +51,60 @@ class TestMain:
             main(["--version"])
         assert exc.value.code == 0
         assert "repro" in capsys.readouterr().out
+
+
+class TestBenchCompare:
+    @staticmethod
+    def _stats_file(path, **named):
+        import json
+        path.write_text(json.dumps(
+            {name: {"min": t, "mean": t * 1.1} for name, t in named.items()}))
+        return str(path)
+
+    def test_parser_accepts_bench_compare(self):
+        args = build_parser().parse_args(
+            ["bench-compare", "--baseline", "b.json", "--current", "c.json",
+             "--threshold", "3.0"])
+        assert args.command == "bench-compare"
+        assert args.threshold == 3.0 and not args.update
+
+    def test_ok_when_within_threshold(self, tmp_path, capsys):
+        base = self._stats_file(tmp_path / "base.json", bench_a=1.0)
+        cur = self._stats_file(tmp_path / "cur.json", bench_a=1.5)
+        assert main(["bench-compare", "--baseline", base, "--current", cur]) == 0
+        assert "[     ok]" in capsys.readouterr().out
+
+    def test_fails_on_regression(self, tmp_path, capsys):
+        base = self._stats_file(tmp_path / "base.json", bench_a=1.0)
+        cur = self._stats_file(tmp_path / "cur.json", bench_a=3.0)
+        assert main(["bench-compare", "--baseline", base, "--current", cur]) == 1
+        captured = capsys.readouterr()
+        assert "fail" in captured.out and "regressed" in captured.err
+
+    def test_threshold_option_respected(self, tmp_path):
+        base = self._stats_file(tmp_path / "base.json", bench_a=1.0)
+        cur = self._stats_file(tmp_path / "cur.json", bench_a=3.0)
+        assert main(["bench-compare", "--baseline", base, "--current", cur,
+                     "--threshold", "4.0"]) == 0
+
+    def test_update_writes_new_baseline(self, tmp_path):
+        import json
+        cur = self._stats_file(tmp_path / "cur.json", bench_a=0.5)
+        target = tmp_path / "new_baseline.json"
+        assert main(["bench-compare", "--baseline", str(target),
+                     "--current", cur, "--update"]) == 0
+        assert json.loads(target.read_text())["bench_a"]["min"] == 0.5
+
+    def test_missing_baseline_is_a_clean_error(self, tmp_path, capsys):
+        cur = self._stats_file(tmp_path / "cur.json", bench_a=1.0)
+        code = main(["bench-compare", "--baseline", str(tmp_path / "none.json"),
+                     "--current", cur])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bad_threshold_is_a_clean_error(self, tmp_path, capsys):
+        base = self._stats_file(tmp_path / "base.json", bench_a=1.0)
+        code = main(["bench-compare", "--baseline", base, "--current", base,
+                     "--threshold", "0.5"])
+        assert code == 2
+        assert "threshold" in capsys.readouterr().err
