@@ -16,6 +16,7 @@ import pytest
 from repro.core import DType
 from repro.core.kernel import LaunchConfig
 from repro.gpu.executor import KernelExecutor
+from repro.harness.runner import MeasurementProtocol
 from repro.kernels.babelstream import BabelStreamArrays
 from repro.kernels.hartreefock import compute_schwarz, make_helium_system, surviving_quadruple_fraction
 from repro.kernels.hartreefock.reference import fock_quadruple_reference
@@ -62,6 +63,30 @@ def test_bench_hartreefock_fock_quadruple_16(benchmark):
     fock = benchmark(fock_quadruple_reference, system)
     assert fock.shape == (16, 16)
     assert np.all(np.isfinite(fock))
+
+
+def test_bench_workload_dispatch(benchmark):
+    """Unified Workload API dispatch: registry lookup, request validation and
+    a timing-model-only stencil run (no functional verification).
+
+    Guards the overhead the workload abstraction adds on top of the memoised
+    compile/timing pipeline — the layer every CLI ``bench`` call and sweep
+    configuration now goes through.
+    """
+    from repro.workloads import get_workload
+
+    protocol = MeasurementProtocol(warmup=0, repeats=3)
+
+    def run():
+        workload = get_workload("stencil")
+        request = workload.make_request(
+            gpu="h100", backend="mojo", precision="float32",
+            params={"L": 64}, protocol=protocol, verify=False)
+        return workload.run(request)
+
+    result = benchmark(run)
+    assert result.metrics["bandwidth_gbs"] > 0
+    assert not result.verification.ran
 
 
 def test_bench_functional_executor_stencil(benchmark):

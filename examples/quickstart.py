@@ -3,8 +3,9 @@
 
 Allocates a device buffer, launches a Mojo-style per-thread kernel written
 against `repro`'s portable programming model, verifies the result on the
-host, and then asks the backend models what the same kernel would cost on the
-two GPUs of the paper (NVIDIA H100 and AMD MI300A).
+host, asks the backend models what the same kernel would cost on the two
+GPUs of the paper (NVIDIA H100 and AMD MI300A), and finally drives a full
+science workload through the unified Workload API registry.
 
 Run with:  python examples/quickstart.py
 """
@@ -24,6 +25,7 @@ from repro import (
     thread_idx,
 )
 from repro.backends import get_backend, vendor_baseline_for
+from repro.workloads import get_workload, list_workloads
 
 # --- compile-time style constants, as in the paper's Listing 1 --------------
 NX = 1 << 20
@@ -80,6 +82,19 @@ def main() -> None:
               f"({portable.achieved_bandwidth_gbs:6.0f} GB/s)   "
               f"{baseline.backend_name} {baseline.kernel_time_ms * 1e3:7.1f} us "
               f"({baseline.achieved_bandwidth_gbs:6.0f} GB/s)")
+
+    # 3. The unified Workload API: every science kernel of the paper is one
+    #    registry entry away, behind the same request/result schema.
+    print(f"\nregistered workloads: {', '.join(list_workloads())}")
+    stencil = get_workload("stencil")
+    request = stencil.make_request(gpu="h100", backend="mojo",
+                                   params={"L": 256}, verify=True)
+    result = stencil.run(request)
+    err = result.verification.max_rel_error
+    print(f"bench {result.workload} L=256 on {request.gpu}/{request.backend}: "
+          f"{result.primary_value:,.0f} {stencil.primary_unit} "
+          f"(verified={result.verification.passed}, max rel error "
+          f"{'n/a' if err is None else format(err, '.1e')})")
 
 
 if __name__ == "__main__":

@@ -31,12 +31,25 @@ from .gpu import GPUSpec, Roofline, get_gpu, list_gpus
 
 __version__ = "1.0.0"
 
+from . import workloads
+from .workloads import (
+    RunRequest,
+    Workload,
+    WorkloadResult,
+    get_workload,
+    list_workloads,
+    register_workload,
+    run_workload,
+)
+
 __all__ = [
-    "backends", "core", "gpu",
+    "backends", "core", "gpu", "workloads",
     "Atomic", "DeviceContext", "Dim3", "DType", "Kernel", "KernelModel",
     "LaunchConfig", "Layout", "LayoutTensor", "barrier", "block_dim",
     "block_idx", "ceildiv", "grid_dim", "kernel", "thread_idx",
     "get_backend", "list_backends", "vendor_baseline_for",
     "GPUSpec", "Roofline", "get_gpu", "list_gpus",
+    "RunRequest", "Workload", "WorkloadResult", "get_workload",
+    "list_workloads", "register_workload", "run_workload",
     "__version__",
 ]

@@ -8,6 +8,14 @@ Subcommands
     Run one or more experiments (or ``all``) and print their reports.
 ``info``
     Show the simulated hardware and backend registry.
+``workloads``
+    List the registered science workloads with their parameter schemas.
+``bench <workload>``
+    Run one workload through the unified Workload API and print (or export
+    as JSON/markdown) its uniform result.
+``report``
+    Regenerate experiment reports as one markdown document (the
+    ``EXPERIMENTS.md`` the result modules reference).
 ``bench-compare``
     Guard the host-execution microbenchmarks against performance
     regressions: compare a pytest-benchmark export (running the benchmarks
@@ -18,15 +26,18 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 from typing import List, Optional
 
 from . import __version__
 from .backends import get_backend, list_backends
+from .core.errors import ConfigurationError, ReproError
 from .experiments import EXPERIMENTS, list_experiments, run_experiment
 from .gpu import get_gpu, list_gpus
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "accepts_option"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +63,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit markdown instead of plain text")
 
     sub.add_parser("info", help="show simulated GPUs and backends")
+
+    wl_p = sub.add_parser("workloads",
+                          help="list registered workloads and their "
+                               "parameter schemas")
+    wl_p.add_argument("--json", action="store_true",
+                      help="emit the schemas as JSON")
+
+    b_p = sub.add_parser(
+        "bench",
+        help="run one workload through the unified Workload API")
+    b_p.add_argument("workload", help="registered workload name "
+                                      "(see 'workloads')")
+    b_p.add_argument("--gpu", default="h100", help="simulated GPU (default h100)")
+    b_p.add_argument("--backend", default="mojo",
+                     help="backend/toolchain (default mojo)")
+    b_p.add_argument("--precision", default=None,
+                     help="float32/float64 (default: the workload's)")
+    b_p.add_argument("--param", action="append", default=[], metavar="K=V",
+                     help="workload parameter override (repeatable)")
+    b_p.add_argument("--repeats", type=int, default=5,
+                     help="measurement repeats kept (default 5; ignored by "
+                          "single-evaluation workloads — see 'workloads')")
+    b_p.add_argument("--warmup", type=int, default=1,
+                     help="warm-up runs discarded (default 1; same caveat "
+                          "as --repeats)")
+    b_p.add_argument("--fast-math", action="store_true",
+                     help="enable the backend's fast-math lowering")
+    b_p.add_argument("--no-verify", action="store_true",
+                     help="skip functional verification")
+    fmt = b_p.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="emit the uniform result schema as JSON")
+    fmt.add_argument("--markdown", action="store_true",
+                     help="emit a markdown table instead of plain text")
+
+    rep_p = sub.add_parser(
+        "report",
+        help="render experiment reports as one markdown document")
+    rep_p.add_argument("ids", nargs="*", default=[],
+                       help="experiment ids (default: all)")
+    rep_p.add_argument("--write", default=None, metavar="PATH",
+                       help="write the document to PATH (e.g. EXPERIMENTS.md) "
+                            "instead of stdout")
+    rep_p.add_argument("--full", action="store_true",
+                       help="run the full (non-quick) parameter sweeps")
 
     bench_p = sub.add_parser(
         "bench-compare",
@@ -95,6 +151,25 @@ def _cmd_info() -> int:
     return 0
 
 
+def accepts_option(fn, name: str) -> bool:
+    """True when *fn* can receive keyword argument *name*.
+
+    Inspects the signature rather than ``fn.__code__.co_varnames`` so
+    wrapped functions (``functools.wraps``) and ``**kwargs``-taking runners
+    are detected correctly.
+    """
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins without introspectable sigs
+        return False
+    if name in parameters:
+        kind = parameters[name].kind
+        return kind not in (inspect.Parameter.VAR_POSITIONAL,
+                            inspect.Parameter.POSITIONAL_ONLY)
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in parameters.values())
+
+
 def _cmd_run(ids: List[str], *, full: bool, verify: bool, markdown: bool) -> int:
     wanted = list_experiments() if any(i.lower() == "all" for i in ids) else ids
     status = 0
@@ -105,7 +180,7 @@ def _cmd_run(ids: List[str], *, full: bool, verify: bool, markdown: bool) -> int
             print(f"unknown experiment {experiment_id!r}; available: "
                   f"{', '.join(list_experiments())}", file=sys.stderr)
             return 2
-        if verify and "verify" in module.run.__code__.co_varnames:
+        if verify and accepts_option(module.run, "verify"):
             options["verify"] = True
         result = run_experiment(experiment_id, **options)
         print(result.to_markdown() if markdown else result.to_text())
@@ -113,6 +188,131 @@ def _cmd_run(ids: List[str], *, full: bool, verify: bool, markdown: bool) -> int
         if not result.all_passed:
             status = 1
     return status
+
+
+def _cmd_workloads(*, as_json: bool) -> int:
+    from .workloads import get_workload, list_workloads
+
+    schemas = [get_workload(name).describe() for name in list_workloads()]
+    if as_json:
+        print(json.dumps(schemas, indent=2, default=str))
+        return 0
+    print("workloads:")
+    for schema in schemas:
+        print(f"  {schema['name']:12s} {schema['description']}")
+        print(f"  {'':12s} primary metric: {schema['primary_metric']} "
+              f"[{schema['primary_unit']}], precisions: "
+              f"{'/'.join(schema['precisions'])}, "
+              f"sampling: {schema['sampling']}")
+        for param in schema["params"]:
+            extra = ""
+            if "choices" in param:
+                extra = f" choices={param['choices']}"
+            if "minimum" in param:
+                extra += f" min={param['minimum']}"
+            print(f"  {'':12s}   --param {param['name']}="
+                  f"{param['default']} ({param['type']}){extra}  "
+                  f"{param['description']}")
+    return 0
+
+
+def _parse_param_overrides(pairs: List[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(
+                f"--param expects K=V, got {pair!r}")
+        params[key] = value
+    return params
+
+
+def _cmd_bench(args) -> int:
+    from .harness.results import ResultTable
+    from .harness.runner import MeasurementProtocol
+    from .workloads import get_workload
+
+    workload = get_workload(args.workload)
+    request = workload.make_request(
+        gpu=args.gpu, backend=args.backend, precision=args.precision,
+        params=_parse_param_overrides(args.param),
+        protocol=MeasurementProtocol(warmup=args.warmup,
+                                     repeats=args.repeats),
+        fast_math=args.fast_math, verify=not args.no_verify,
+    )
+    result = workload.run(request)
+
+    table = ResultTable(columns=list(result.ROW_COLUMNS),
+                        title=f"{workload.name} on {request.gpu} / "
+                              f"{request.backend}")
+    table.add_row(**result.to_row())
+
+    if args.json:
+        payload = result.as_dict()
+        payload["table"] = table.as_dict()
+        print(json.dumps(payload, indent=2, default=str))
+    elif args.markdown:
+        print(table.to_markdown())
+    else:
+        print(table.to_text())
+        print()
+        print("metrics:")
+        for name, value in result.metrics.items():
+            print(f"  {name}: {value:,.4g}")
+        if workload.sampling == "single-evaluation":
+            print("sampling: single model evaluation "
+                  "(--repeats/--warmup do not apply)")
+        v = result.verification
+        if v.ran:
+            err = ("-" if v.max_rel_error is None
+                   else f"{v.max_rel_error:.3e}")
+            status = "passed" if v.passed else f"FAILED ({v.detail})"
+            print(f"verification: {status}, max rel error {err}")
+        else:
+            print("verification: skipped (--no-verify)")
+    return 0 if (not result.verification.ran
+                 or result.verification.passed) else 1
+
+
+def _cmd_report(ids: List[str], *, write: Optional[str], full: bool) -> int:
+    if not ids or any(i.lower() == "all" for i in ids):
+        wanted = list_experiments()
+    else:
+        wanted = ids
+    unknown = [i for i in wanted if i.lower() not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s) {unknown}; available: "
+              f"{', '.join(list_experiments())}", file=sys.stderr)
+        return 2
+    results = [run_experiment(i, quick=not full) for i in wanted]
+
+    lines = [
+        "# EXPERIMENTS",
+        "",
+        "Regenerated reports for the paper's tables and figures, produced",
+        "on the simulated substrate from the unified result schema.",
+        "Regenerate with `python -m repro report --write EXPERIMENTS.md`",
+        f"(repro {__version__}, {'full' if full else 'quick'} sweeps).",
+        "",
+        "| experiment | description | comparisons | status |",
+        "|---|---|---|---|",
+    ]
+    for result in results:
+        status = "pass" if result.all_passed else "MISMATCH"
+        lines.append(f"| {result.experiment_id} | {result.description} | "
+                     f"{len(result.comparisons)} | {status} |")
+    for result in results:
+        lines.append("")
+        lines.append(result.to_markdown())
+    document = "\n".join(lines) + "\n"
+
+    if write:
+        with open(write, "w", encoding="utf-8") as fh:
+            fh.write(document)
+        print(f"wrote {len(results)} experiment report(s) to {write}")
+    else:
+        print(document)
+    return 0 if all(r.all_passed for r in results) else 1
 
 
 def _run_host_benchmarks(bench_file: str) -> str:
@@ -196,6 +396,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _cmd_run(args.ids, full=args.full, verify=args.verify,
                         markdown=args.markdown)
+    if args.command == "workloads":
+        return _cmd_workloads(as_json=args.json)
+    if args.command == "bench":
+        try:
+            return _cmd_bench(args)
+        except ReproError as exc:
+            # exit 2 is the config-error contract; exit 1 is reserved for a
+            # failed verification (VerificationError inside the workload is
+            # already folded into the result by Workload.run)
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
+    if args.command == "report":
+        return _cmd_report(args.ids, write=args.write, full=args.full)
     if args.command == "bench-compare":
         return _cmd_bench_compare(baseline=args.baseline, current=args.current,
                                   threshold=args.threshold, update=args.update)

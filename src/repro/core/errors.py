@@ -59,4 +59,13 @@ class DTypeError(ReproError):
 
 
 class VerificationError(ReproError):
-    """Raised when a kernel result fails verification against its reference."""
+    """Raised when a kernel result fails verification against its reference.
+
+    ``max_rel_error`` optionally carries the measured error magnitude so
+    structured consumers (the unified workload results) do not have to parse
+    it back out of the message.
+    """
+
+    def __init__(self, message: str, *, max_rel_error=None):
+        super().__init__(message)
+        self.max_rel_error = max_rel_error

@@ -4,6 +4,10 @@ Sweeps the two problem sizes and both precisions for each platform, reports
 the Eq. 1 effective bandwidth, and checks the Mojo-vs-baseline efficiency
 against the paper's Table 5 values (0.82 FP32 / 0.87 FP64 on H100, parity on
 MI300A).
+
+Dispatches through the unified Workload API: the sweep produces
+``RunRequest`` objects and the registry's ``stencil`` workload runs them, so
+this module never touches the kernel-specific runner surface.
 """
 
 from __future__ import annotations
@@ -13,8 +17,9 @@ from typing import Dict, Tuple
 from ..harness.compare import ratio_comparison
 from ..harness.paper_data import FIGURE_EXPECTATIONS, TABLE5_EFFICIENCIES
 from ..harness.results import ExperimentResult, ResultTable
+from ..harness.runner import MeasurementProtocol
 from ..harness.sweep import sweep
-from ..kernels.stencil import run_stencil
+from ..workloads import get_workload
 
 EXPERIMENT_ID = "fig3"
 DESCRIPTION = "Seven-point stencil bandwidth: Mojo vs CUDA (H100) and HIP (MI300A)"
@@ -35,23 +40,26 @@ def run(*, quick: bool = True, iterations: int = 20, verify: bool = False) -> Ex
         title="Effective bandwidth (Eq. 1), GB/s",
     )
 
+    workload = get_workload("stencil")
+    protocol = MeasurementProtocol(warmup=1, repeats=max(iterations - 1, 1))
     efficiencies: Dict[Tuple[str, str], float] = {}
     for gpu, baseline in PLATFORMS:
-        for cfg in sweep(precision=["float32", "float64"], L=list(sizes),
-                         block=list(block_shapes)):
-            mojo = run_stencil(L=cfg["L"], precision=cfg["precision"],
-                               backend="mojo", gpu=gpu, block_shape=cfg["block"],
-                               iterations=iterations, verify=verify)
-            base = run_stencil(L=cfg["L"], precision=cfg["precision"],
-                               backend=baseline, gpu=gpu, block_shape=cfg["block"],
-                               iterations=iterations, verify=False)
-            eff = mojo.bandwidth_gbs / base.bandwidth_gbs
-            key = (cfg["precision"], gpu)
+        requests = sweep(precision=["float32", "float64"], L=list(sizes),
+                         block_shape=list(block_shapes)).requests(
+            workload, gpu=gpu, backend="mojo", protocol=protocol,
+            verify=verify)
+        for request in requests:
+            mojo = workload.run(request)
+            base = workload.run(request.replace(backend=baseline,
+                                                verify=False))
+            eff = mojo.primary_value / base.primary_value
+            key = (request.precision, gpu)
             efficiencies.setdefault(key, eff)
-            table.add_row(gpu=gpu, precision=cfg["precision"], L=cfg["L"],
-                          block=str(cfg["block"]), mojo_gbs=mojo.bandwidth_gbs,
-                          baseline=baseline, baseline_gbs=base.bandwidth_gbs,
-                          efficiency=eff)
+            table.add_row(gpu=gpu, precision=request.precision,
+                          L=request.params["L"],
+                          block=str(request.params["block_shape"]),
+                          mojo_gbs=mojo.primary_value, baseline=baseline,
+                          baseline_gbs=base.primary_value, efficiency=eff)
     result.add_table(table)
 
     paper = TABLE5_EFFICIENCIES["stencil"]

@@ -3,6 +3,10 @@
 Runs the five operations at the paper's 2^25-element size on both platforms
 and checks the per-operation Mojo efficiency against Table 5 (≈1.01 for the
 streaming kernels on H100, 0.78 for Dot, parity on MI300A).
+
+Dispatches through the unified Workload API (one ``RunRequest`` per
+platform/backend); the per-operation bandwidths come out of the uniform
+``WorkloadResult.metrics`` mapping.
 """
 
 from __future__ import annotations
@@ -12,7 +16,9 @@ from typing import Dict, Tuple
 from ..harness.compare import ratio_comparison
 from ..harness.paper_data import FIGURE_EXPECTATIONS, TABLE5_EFFICIENCIES
 from ..harness.results import ExperimentResult, ResultTable
-from ..kernels.babelstream import BABELSTREAM_OPS, BabelStreamBenchmark
+from ..harness.runner import MeasurementProtocol
+from ..kernels.babelstream import BABELSTREAM_OPS
+from ..workloads import get_workload
 
 EXPERIMENT_ID = "fig4"
 DESCRIPTION = "BabelStream bandwidth: Mojo vs CUDA (H100) and HIP (MI300A)"
@@ -30,17 +36,22 @@ def run(*, n: int = 2 ** 25, precision: str = "float64", quick: bool = True,
         title=f"BabelStream bandwidth (Eq. 2), {n} x {precision}",
     )
 
+    workload = get_workload("babelstream")
+    protocol = MeasurementProtocol(warmup=1, repeats=4)
     efficiencies: Dict[Tuple[str, str], float] = {}
     for gpu, baseline in PLATFORMS:
-        mojo = BabelStreamBenchmark(n=n, precision=precision, backend="mojo",
-                                    gpu=gpu, num_times=5).run(verify=verify)
-        base = BabelStreamBenchmark(n=n, precision=precision, backend=baseline,
-                                    gpu=gpu, num_times=5).run(verify=False)
+        request = workload.make_request(
+            gpu=gpu, backend="mojo", precision=precision, params={"n": n},
+            protocol=protocol, verify=verify)
+        mojo = workload.run(request)
+        base = workload.run(request.replace(backend=baseline, verify=False))
         for op in BABELSTREAM_OPS:
-            eff = mojo.bandwidths_gbs[op] / base.bandwidths_gbs[op]
+            eff = mojo.metrics[f"{op}_gbs"] / base.metrics[f"{op}_gbs"]
             efficiencies[(op, gpu)] = eff
-            table.add_row(gpu=gpu, operation=op, mojo_gbs=mojo.bandwidths_gbs[op],
-                          baseline=baseline, baseline_gbs=base.bandwidths_gbs[op],
+            table.add_row(gpu=gpu, operation=op,
+                          mojo_gbs=mojo.metrics[f"{op}_gbs"],
+                          baseline=baseline,
+                          baseline_gbs=base.metrics[f"{op}_gbs"],
                           efficiency=eff)
     result.add_table(table)
 

@@ -85,6 +85,14 @@ class ResultTable:
             writer.writerow({c: row.get(c, "") for c in self.columns})
         return buf.getvalue()
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (the shape embedded in experiment exports)."""
+        return {"title": self.title, "columns": list(self.columns),
+                "rows": [dict(row) for row in self.rows]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, default=str)
+
     def __len__(self) -> int:
         return len(self.rows)
 
@@ -130,6 +138,26 @@ class ExperimentResult:
     def add_table(self, table: ResultTable) -> ResultTable:
         self.tables.append(table)
         return table
+
+    def add_workload_results(self, results: Sequence, *, title: str = "",
+                             columns: Optional[Sequence[str]] = None,
+                             ) -> ResultTable:
+        """Tabulate unified ``WorkloadResult`` objects into a new table.
+
+        Consumes anything with the workload-result row protocol
+        (``to_row()`` plus ``ROW_COLUMNS``), so every registered workload's
+        results land in the same table shape.
+        """
+        results = list(results)
+        if not results:
+            raise ConfigurationError("no workload results to tabulate")
+        if columns is None:
+            columns = list(results[0].ROW_COLUMNS)
+        table = ResultTable(columns=list(columns), title=title)
+        for result in results:
+            row = result.to_row()
+            table.add_row(**{c: row.get(c) for c in columns})
+        return self.add_table(table)
 
     def add_comparison(self, comparison: Comparison) -> Comparison:
         self.comparisons.append(comparison)
@@ -181,10 +209,7 @@ class ExperimentResult:
         payload = {
             "experiment_id": self.experiment_id,
             "description": self.description,
-            "tables": [
-                {"title": t.title, "columns": t.columns, "rows": t.rows}
-                for t in self.tables
-            ],
+            "tables": [t.as_dict() for t in self.tables],
             "comparisons": [
                 {"label": c.label, "measured": c.measured, "paper": c.paper,
                  "kind": c.kind, "passed": c.passed, "detail": c.detail}

@@ -88,7 +88,8 @@ def verify_arrays(arrays: BabelStreamArrays, num_iterations: int,
         if err > rtol:
             raise VerificationError(
                 f"BabelStream array {name!r} verification failed: "
-                f"max relative error {err:.3e} > {rtol:.1e}"
+                f"max relative error {err:.3e} > {rtol:.1e}",
+                max_rel_error=err,
             )
     return errors
 
@@ -103,6 +104,6 @@ def verify_dot(dot_value: float, arrays: BabelStreamArrays,
     if err > rtol:
         raise VerificationError(
             f"BabelStream dot verification failed: relative error {err:.3e} "
-            f"> {rtol:.1e}"
+            f"> {rtol:.1e}", max_rel_error=err,
         )
     return err

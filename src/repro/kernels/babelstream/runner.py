@@ -128,7 +128,8 @@ class BabelStreamBenchmark:
     def __init__(self, *, n: int = DEFAULT_SIZE, precision: str = "float64",
                  backend: str = "mojo", gpu: str = "h100",
                  tb_size: int = 1024, num_times: int = 100,
-                 jitter: float = 0.01, seed: int = 2025):
+                 jitter: float = 0.01, seed: int = 2025,
+                 fast_math: bool = False, warmup: int = 1):
         self.n = int(n)
         self.precision = precision
         self.backend = get_backend(backend)
@@ -137,6 +138,10 @@ class BabelStreamBenchmark:
         self.num_times = int(num_times)
         self.jitter = float(jitter)
         self.seed = int(seed)
+        self.fast_math = bool(fast_math)
+        #: iterations discarded before sample collection (the BabelStream
+        #: driver's first timing is traditionally treated as warm-up)
+        self.warmup = int(warmup)
 
     # ------------------------------------------------------------------ model
     def launch_for(self, op: str) -> LaunchConfig:
@@ -174,7 +179,8 @@ class BabelStreamBenchmark:
         for op in BABELSTREAM_OPS:
             launch = self.launch_for(op)
             model = self.model_for(op)
-            run = self.backend.time(model, self.spec, launch)
+            run = self.backend.time(model, self.spec, launch,
+                                    fast_math=self.fast_math)
             t_s = run.timing.kernel_time_s
             bw = operation_bandwidth_gbs(op, self.n, self.precision, t_s)
             bandwidths[op] = bw
@@ -182,7 +188,7 @@ class BabelStreamBenchmark:
             timings[op] = run.timing
             samples[op] = [
                 bw * max(1.0 + rng.normal(0.0, self.jitter), 0.5)
-                for _ in range(max(self.num_times - 1, 0))
+                for _ in range(max(self.num_times - self.warmup, 0))
             ]
 
         return BabelStreamResult(
@@ -201,6 +207,12 @@ class BabelStreamBenchmark:
 
 
 def run_babelstream(**kwargs) -> BabelStreamResult:
-    """Convenience wrapper: build a :class:`BabelStreamBenchmark` and run it."""
+    """Convenience wrapper: build a :class:`BabelStreamBenchmark` and run it.
+
+    .. deprecated::
+        Thin shim kept for existing callers; prefer
+        ``repro.workloads.get_workload("babelstream")`` with a
+        :class:`~repro.workloads.RunRequest`.
+    """
     verify = kwargs.pop("verify", True)
     return BabelStreamBenchmark(**kwargs).run(verify=verify)

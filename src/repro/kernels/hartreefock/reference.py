@@ -133,6 +133,7 @@ def verify_fock(computed: np.ndarray, expected: np.ndarray, *,
     err = float(np.max(np.abs(computed - expected)) / scale)
     if err > rtol:
         raise VerificationError(
-            f"Fock verification failed: max relative error {err:.3e} > {rtol:.1e}"
+            f"Fock verification failed: max relative error {err:.3e} > {rtol:.1e}",
+            max_rel_error=err,
         )
     return err

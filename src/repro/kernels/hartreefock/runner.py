@@ -12,25 +12,26 @@ Three execution paths with very different cost envelopes meet here:
 * the Table 4 timings come from the analytic backend model — no ERI is
   evaluated at all, so ``natoms=1024`` costs no more than ``natoms=64``
   beyond the Schwarz-bound computation.
+
+The benchmark engine itself lives in :mod:`repro.workloads.hartreefock`;
+:func:`run_hartreefock` remains as a thin deprecated shim over it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from ...backends import get_backend
 from ...core.device import DeviceContext
 from ...core.dtypes import DType
 from ...core.kernel import LaunchConfig
 from ...core.layout import Layout
-from ...gpu.specs import get_gpu
 from ...gpu.timing import TimingBreakdown
 from .basis import HeSystem, make_helium_system, triangular_pairs
 from .eri import pair_schwarz, schwarz_identical_basis
-from .kernel import SCHWARZ_TOLERANCE, hartree_fock_kernel, hartree_fock_kernel_model
+from .kernel import SCHWARZ_TOLERANCE, hartree_fock_kernel
 from .reference import fock_quadruple_reference, verify_fock
 
 __all__ = ["HartreeFockResult", "run_hartreefock", "run_hartreefock_functional",
@@ -147,54 +148,16 @@ def run_hartreefock_functional(natoms: int = 4, ngauss: int = 3, *,
     return fock, err
 
 
-def run_hartreefock(
-    *,
-    natoms: int = 256,
-    ngauss: int = 3,
-    backend: str = "mojo",
-    gpu: str = "h100",
-    block_size: int = DEFAULT_BLOCK_SIZE,
-    spacing: float = 3.0,
-    schwarz_tol: float = SCHWARZ_TOLERANCE,
-    verify: bool = True,
-    verify_natoms: int = 4,
-) -> HartreeFockResult:
+def run_hartreefock(**kwargs) -> HartreeFockResult:
     """Benchmark one Hartree–Fock configuration (Table 4).
 
-    The surviving-quadruple fraction is computed from the system's actual
-    Schwarz bounds and drives the per-thread resource model; timing comes
-    from the backend model; functional verification runs a reduced system
-    through the simulator.
+    .. deprecated::
+        Thin shim over the unified Workload API; prefer
+        ``repro.workloads.get_workload("hartreefock")`` with a
+        :class:`~repro.workloads.RunRequest`.  The benchmark engine lives in
+        :func:`repro.workloads.hartreefock.bench_hartreefock` and keeps this
+        function's exact signature and semantics.
     """
-    spec = get_gpu(gpu)
-    be = get_backend(backend)
+    from ...workloads.hartreefock import bench_hartreefock
 
-    verified = False
-    max_rel_error = float("nan")
-    if verify:
-        _, max_rel_error = run_hartreefock_functional(
-            verify_natoms, ngauss, gpu=gpu)
-        verified = True
-
-    system = make_helium_system(natoms, ngauss, spacing=spacing)
-    approximate = natoms >= APPROX_SCHWARZ_NATOMS
-    schwarz = compute_schwarz(system, approximate=approximate)
-    survivors = surviving_quadruple_fraction(schwarz, schwarz_tol)
-
-    model = hartree_fock_kernel_model(natoms=natoms, ngauss=ngauss,
-                                      surviving_fraction=survivors)
-    launch = LaunchConfig.for_elements(system.nquads, block_size)
-    run = be.time(model, spec, launch)
-
-    return HartreeFockResult(
-        natoms=natoms,
-        ngauss=ngauss,
-        backend=be.name,
-        gpu=spec.name,
-        kernel_time_ms=run.timing.kernel_time_ms,
-        nquads=system.nquads,
-        surviving_fraction=survivors,
-        verified=verified,
-        max_rel_error=max_rel_error,
-        timing=run.timing,
-    )
+    return bench_hartreefock(**kwargs)

@@ -119,6 +119,7 @@ def verify_energies(computed: np.ndarray, deck: Deck, *, rtol: float = 2e-3,
     err = float(np.max(np.abs(computed - expected) / scale))
     if err > rtol:
         raise VerificationError(
-            f"miniBUDE verification failed: max relative error {err:.3e} > {rtol:.1e}"
+            f"miniBUDE verification failed: max relative error {err:.3e} > {rtol:.1e}",
+            max_rel_error=err,
         )
     return err

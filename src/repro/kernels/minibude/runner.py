@@ -1,4 +1,8 @@
-"""High-level runner for the miniBUDE workload (Figures 6 and 7)."""
+"""High-level runner for the miniBUDE workload (Figures 6 and 7).
+
+The benchmark engine itself lives in :mod:`repro.workloads.minibude`;
+:func:`run_minibude` remains as a thin deprecated shim over it.
+"""
 
 from __future__ import annotations
 
@@ -7,18 +11,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ...backends import get_backend
 from ...core.device import DeviceContext
 from ...core.dtypes import DType
 from ...core.errors import ConfigurationError
 from ...core.intrinsics import ceildiv
 from ...core.kernel import LaunchConfig
-from ...gpu.specs import get_gpu
 from ...gpu.timing import TimingBreakdown
-from .deck import BM1_NPOSES, Deck, make_bm1, make_deck
-from .kernel import fasten_kernel, fasten_kernel_model
-from .metrics import gflops, total_ops
-from .reference import reference_energies, verify_energies
+from .deck import Deck
+from .kernel import fasten_kernel
+from .reference import verify_energies
 
 __all__ = ["MiniBudeResult", "run_minibude", "run_fasten_functional",
            "minibude_launch_config", "DEFAULT_PPWI_SWEEP", "DEFAULT_WGSIZES"]
@@ -92,60 +93,16 @@ def run_fasten_functional(deck: Deck, *, ppwi: int = 2, wgsize: int = 8,
     return energies, err
 
 
-def run_minibude(
-    *,
-    ppwi: int = 1,
-    wgsize: int = 64,
-    nposes: int = BM1_NPOSES,
-    backend: str = "mojo",
-    gpu: str = "h100",
-    fast_math: bool = False,
-    deck: Optional[Deck] = None,
-    verify: bool = True,
-    verify_poses: int = 64,
-    seed: int = 2025,
-) -> MiniBudeResult:
+def run_minibude(**kwargs) -> MiniBudeResult:
     """Benchmark one miniBUDE configuration (bm1 by default).
 
-    Functional verification runs the device kernel on a reduced deck; the
-    reported GFLOP/s for the requested configuration comes from Eq. 3 applied
-    to the modelled kernel time.
+    .. deprecated::
+        Thin shim over the unified Workload API; prefer
+        ``repro.workloads.get_workload("minibude")`` with a
+        :class:`~repro.workloads.RunRequest`.  The benchmark engine lives in
+        :func:`repro.workloads.minibude.bench_minibude` and keeps this
+        function's exact signature and semantics.
     """
-    spec = get_gpu(gpu)
-    be = get_backend(backend)
-    full_deck = deck or make_bm1(nposes, seed=seed)
+    from ...workloads.minibude import bench_minibude
 
-    verified = False
-    max_rel_error = float("nan")
-    if verify:
-        small = make_deck(natlig=min(full_deck.natlig, 8),
-                          natpro=min(full_deck.natpro, 32),
-                          ntypes=full_deck.ntypes,
-                          nposes=verify_poses, seed=seed, name="verify")
-        _, max_rel_error = run_fasten_functional(
-            small, ppwi=min(ppwi, 2), wgsize=min(wgsize, 8), gpu=gpu)
-        verified = True
-
-    model = fasten_kernel_model(ppwi=ppwi, natlig=full_deck.natlig,
-                                natpro=full_deck.natpro, wgsize=wgsize)
-    launch = minibude_launch_config(full_deck.nposes, ppwi, wgsize)
-    run = be.time(model, spec, launch, fast_math=fast_math)
-    time_s = run.timing.kernel_time_s
-    achieved = gflops(ppwi, full_deck.natlig, full_deck.natpro,
-                      full_deck.nposes, time_s)
-
-    return MiniBudeResult(
-        ppwi=ppwi,
-        wgsize=wgsize,
-        nposes=full_deck.nposes,
-        natlig=full_deck.natlig,
-        natpro=full_deck.natpro,
-        backend=be.name,
-        gpu=spec.name,
-        fast_math=run.fast_math,
-        kernel_time_ms=run.timing.kernel_time_ms,
-        gflops=achieved,
-        verified=verified,
-        max_rel_error=max_rel_error,
-        timing=run.timing,
-    )
+    return bench_minibude(**kwargs)

@@ -51,6 +51,7 @@ def verify_laplacian(result: np.ndarray, u: np.ndarray, invhx2: float,
         rtol = 1e-5 if u.dtype == np.float32 else 1e-10
     if err > rtol:
         raise VerificationError(
-            f"stencil verification failed: max relative error {err:.3e} > {rtol:.1e}"
+            f"stencil verification failed: max relative error {err:.3e} > {rtol:.1e}",
+            max_rel_error=err,
         )
     return err

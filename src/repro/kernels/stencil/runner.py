@@ -3,6 +3,9 @@
 Combines the problem setup, the device kernel (functional verification), the
 vectorized reference and the backend timing model into one call that returns
 everything Figure 3 and Table 2 need.
+
+The benchmark engine itself lives in :mod:`repro.workloads.stencil`;
+:func:`run_stencil` remains as a thin deprecated shim over it.
 """
 
 from __future__ import annotations
@@ -12,18 +15,14 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ...backends import get_backend
 from ...core.device import DeviceContext
-from ...core.dtypes import DType
 from ...core.intrinsics import ceildiv
 from ...core.kernel import LaunchConfig
 from ...core.layout import Layout
-from ...gpu.specs import get_gpu
 from ...gpu.timing import TimingBreakdown
-from .kernel import laplacian_kernel, stencil_kernel_model
-from .metrics import effective_bandwidth_gbs
+from .kernel import laplacian_kernel
 from .problem import StencilProblem
-from .reference import laplacian_reference, verify_laplacian
+from .reference import verify_laplacian
 
 __all__ = ["StencilResult", "run_stencil", "verify_stencil_kernel",
            "stencil_launch_config"]
@@ -93,63 +92,16 @@ def verify_stencil_kernel(L: int = 18, precision: str = "float64",
     return verify_laplacian(result, u_host, invhx2, invhy2, invhz2, invhxyz2)
 
 
-def run_stencil(
-    *,
-    L: int = 512,
-    precision: str = "float64",
-    backend: str = "mojo",
-    gpu: str = "h100",
-    block_shape: Tuple[int, int, int] = (512, 1, 1),
-    iterations: int = 100,
-    warmup: int = 1,
-    jitter: float = 0.02,
-    seed: int = 2025,
-    verify: bool = True,
-) -> StencilResult:
+def run_stencil(**kwargs) -> StencilResult:
     """Benchmark one stencil configuration.
 
-    Functional verification runs on a reduced grid (the numerics of the
-    kernel do not depend on ``L``); the reported bandwidth for the requested
-    ``L`` comes from the backend timing model, evaluated per Eq. 1.  The
-    ``iterations``/``jitter`` parameters produce the per-run samples that give
-    Figure 3 its measurement spread (seeded, hence reproducible).
+    .. deprecated::
+        Thin shim over the unified Workload API; prefer
+        ``repro.workloads.get_workload("stencil")`` with a
+        :class:`~repro.workloads.RunRequest`.  The benchmark engine lives in
+        :func:`repro.workloads.stencil.bench_stencil` and keeps this
+        function's exact signature and semantics.
     """
-    spec = get_gpu(gpu)
-    be = get_backend(backend)
+    from ...workloads.stencil import bench_stencil
 
-    max_rel_error = float("nan")
-    verified = False
-    if verify:
-        verify_l = min(L, FUNCTIONAL_VERIFY_MAX_L)
-        small_block = tuple(min(b, 8) for b in block_shape)
-        if small_block == (0, 0, 0):
-            small_block = (8, 4, 4)
-        max_rel_error = verify_stencil_kernel(verify_l, precision, gpu,
-                                              block_shape=(8, 4, 4))
-        verified = True
-
-    model = stencil_kernel_model(L=L, precision=precision)
-    launch = stencil_launch_config(L, block_shape)
-    run = be.time(model, spec, launch)
-    time_s = run.timing.kernel_time_s
-    bandwidth = effective_bandwidth_gbs(L, precision, time_s)
-
-    rng = np.random.default_rng(seed)
-    samples = []
-    for i in range(max(iterations - warmup, 0)):
-        noise = 1.0 + rng.normal(0.0, jitter)
-        samples.append(bandwidth * max(noise, 0.5))
-
-    return StencilResult(
-        L=L,
-        precision=precision,
-        backend=be.name,
-        gpu=spec.name,
-        block_shape=tuple(block_shape),
-        kernel_time_ms=run.timing.kernel_time_ms,
-        bandwidth_gbs=bandwidth,
-        verified=verified,
-        max_rel_error=max_rel_error,
-        timing=run.timing,
-        samples_gbs=samples,
-    )
+    return bench_stencil(**kwargs)

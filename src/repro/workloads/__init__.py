@@ -1,0 +1,55 @@
+"""Unified Workload API: one registry and request/result schema for the four
+science kernels of the paper.
+
+>>> from repro.workloads import get_workload, list_workloads
+>>> list_workloads()
+('babelstream', 'hartreefock', 'minibude', 'stencil')
+>>> wl = get_workload("stencil")
+>>> result = wl.run(wl.make_request(gpu="h100", backend="mojo",
+...                                 params={"L": 128}, verify=False))
+>>> result.primary_metric
+'bandwidth_gbs'
+
+Every workload accepts the same frozen :class:`RunRequest` and returns the
+same :class:`WorkloadResult` shape, so sweeps, the CLI ``bench`` command and
+the figure experiments drive all kernels uniformly.
+"""
+
+from .base import (
+    DEFAULT_PROTOCOL,
+    ParamSpec,
+    RunRequest,
+    Verification,
+    Workload,
+    WorkloadResult,
+)
+from .registry import (
+    get_workload,
+    list_workloads,
+    register_workload,
+    unregister_workload,
+)
+from .babelstream import BabelStreamWorkload
+from .hartreefock import HartreeFockWorkload
+from .minibude import MiniBudeWorkload
+from .stencil import StencilWorkload
+
+__all__ = [
+    "ParamSpec", "RunRequest", "Verification", "Workload", "WorkloadResult",
+    "DEFAULT_PROTOCOL",
+    "register_workload", "unregister_workload", "get_workload",
+    "list_workloads",
+    "StencilWorkload", "BabelStreamWorkload", "MiniBudeWorkload",
+    "HartreeFockWorkload",
+    "run_workload",
+]
+
+register_workload(StencilWorkload(), "laplacian")
+register_workload(BabelStreamWorkload(), "stream")
+register_workload(MiniBudeWorkload(), "bude")
+register_workload(HartreeFockWorkload(), "hf")
+
+
+def run_workload(request: RunRequest) -> WorkloadResult:
+    """Dispatch a :class:`RunRequest` to its registered workload and run it."""
+    return get_workload(request.workload).run(request)

@@ -1,0 +1,79 @@
+"""Unified-API adapter for the BabelStream workload.
+
+Wraps :class:`repro.kernels.babelstream.runner.BabelStreamBenchmark` (the
+engine shared with the legacy ``run_babelstream`` shim) behind the
+:class:`~repro.workloads.base.Workload` protocol.
+"""
+
+from __future__ import annotations
+
+from ..kernels.babelstream.kernels import BABELSTREAM_OPS
+from ..kernels.babelstream.reference import expected_values
+from ..kernels.babelstream.runner import (
+    DEFAULT_SIZE,
+    BabelStreamBenchmark,
+    run_babelstream_functional,
+)
+from .base import ParamSpec, RunRequest, Verification, Workload, WorkloadResult
+from .provenance import build_provenance
+
+__all__ = ["BabelStreamWorkload"]
+
+
+class BabelStreamWorkload(Workload):
+    """BabelStream Copy/Mul/Add/Triad/Dot (memory-bound, Figure 4 / Table 3)."""
+
+    name = "babelstream"
+    description = ("BabelStream Copy/Mul/Add/Triad/Dot on three n-element "
+                   "vectors (Eq. 2 bandwidth)")
+    primary_metric = "triad_gbs"
+    primary_unit = "GB/s"
+    params = (
+        ParamSpec("n", int, DEFAULT_SIZE, "vector length in elements",
+                  minimum=1),
+        ParamSpec("tb_size", int, 1024, "thread-block size", minimum=1),
+        ParamSpec("jitter", float, 0.01,
+                  "relative per-sample measurement noise", minimum=0.0),
+        ParamSpec("seed", int, 2025, "RNG seed for the sample noise"),
+    )
+
+    def reference(self, *, num_iterations: int = 2):
+        """Scalar-replay expected values of a/b/c after *num_iterations*."""
+        a, b, c = expected_values(num_iterations)
+        return {"a": a, "b": b, "c": c}
+
+    def verify(self, *, precision: str = "float64", gpu: str = "h100") -> float:
+        """Functional run of all five device kernels; max relative error."""
+        errors = run_babelstream_functional(precision=precision, gpu=gpu)
+        return max(errors.values())
+
+    def _run(self, request: RunRequest) -> WorkloadResult:
+        p = request.params
+        bench = BabelStreamBenchmark(
+            n=p["n"], precision=request.precision, backend=request.backend,
+            gpu=request.gpu, tb_size=p["tb_size"],
+            num_times=request.protocol.repeats + request.protocol.warmup,
+            warmup=request.protocol.warmup,
+            jitter=p["jitter"], seed=p["seed"],
+            fast_math=request.fast_math,
+        )
+        result = bench.run(verify=request.verify)
+
+        metrics = {f"{op}_gbs": result.bandwidths_gbs[op]
+                   for op in BABELSTREAM_OPS}
+        metrics["kernel_time_ms"] = sum(result.kernel_times_ms.values())
+        max_err = (max(result.verification_errors.values())
+                   if result.verification_errors else float("nan"))
+        return WorkloadResult(
+            request=request,
+            metrics=metrics,
+            primary_metric=self.primary_metric,
+            verification=Verification(ran=result.verified,
+                                      passed=result.verified,
+                                      max_rel_error=max_err),
+            timing=dict(result.timings),
+            samples={f"{op}_gbs": list(result.samples_gbs[op])
+                     for op in BABELSTREAM_OPS},
+            provenance=build_provenance(request, sampling=self.sampling),
+            raw=result,
+        )

@@ -1,0 +1,420 @@
+"""The unified workload abstraction: one request/result schema for every kernel.
+
+The paper's portability story is that the *same* four science kernels run
+unchanged across GPUs and backends.  This module gives the reproduction the
+API to match: a :class:`Workload` base class (name, description, declared
+parameter schema, ``reference()``/``verify()``/``run()``), a frozen
+:class:`RunRequest` naming one configuration (workload, gpu, backend,
+precision, params, measurement protocol, fast-math), and a uniform
+:class:`WorkloadResult` (metrics dict, verification outcome, timing
+breakdowns, per-repeat samples, provenance) that every workload returns.
+
+Anything that can build a :class:`RunRequest` — the CLI ``bench`` command,
+:meth:`repro.harness.sweep.Sweep.run_workload`, the figure experiments — can
+therefore drive any registered workload without knowing its kernel-specific
+surface.  Adding workload #5 means implementing this protocol and calling
+:func:`repro.workloads.registry.register_workload`; no CLI or harness change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError, VerificationError
+from ..harness.runner import MeasurementProtocol
+
+__all__ = [
+    "ParamSpec",
+    "RunRequest",
+    "Verification",
+    "WorkloadResult",
+    "Workload",
+    "DEFAULT_PROTOCOL",
+]
+
+#: measurement protocol used when a request does not specify one
+DEFAULT_PROTOCOL = MeasurementProtocol(warmup=1, repeats=5)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared workload parameter: type, default, validation."""
+
+    name: str
+    type: type
+    default: object
+    description: str = ""
+    #: allowed values (None: unconstrained)
+    choices: Optional[Tuple[object, ...]] = None
+    #: inclusive lower bound for numeric parameters (None: unconstrained);
+    #: applies element-wise to tuple parameters
+    minimum: Optional[float] = None
+    #: required element count for tuple parameters (None: unconstrained)
+    length: Optional[int] = None
+
+    def coerce(self, value: object) -> object:
+        """Coerce and validate *value*; raises :class:`ConfigurationError`."""
+        try:
+            if self.type is bool and isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("1", "true", "yes", "on"):
+                    value = True
+                elif lowered in ("0", "false", "no", "off"):
+                    value = False
+                else:
+                    raise ValueError(f"not a boolean: {value!r}")
+            elif self.type is tuple:
+                if isinstance(value, str):
+                    parts = value.replace("(", "").replace(")", "").split(",")
+                    value = tuple(int(p) for p in parts if p.strip())
+                else:
+                    elements = []
+                    for v in value:
+                        if isinstance(v, float) and v != int(v):
+                            raise ValueError(f"not an integer: {v!r}")
+                        elements.append(int(v))
+                    value = tuple(elements)
+            elif not isinstance(value, self.type):
+                if self.type is int and isinstance(value, float) \
+                        and value != int(value):
+                    raise ValueError(f"not an integer: {value!r}")
+                value = self.type(value)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"parameter {self.name!r} expects {self.type.__name__}, "
+                f"got {value!r} ({exc})"
+            ) from None
+        if self.type is tuple and self.length is not None \
+                and len(value) != self.length:
+            raise ConfigurationError(
+                f"parameter {self.name!r} expects {self.length} "
+                f"comma-separated values, got {value!r}"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ConfigurationError(
+                f"parameter {self.name!r} must be one of {list(self.choices)}, "
+                f"got {value!r}"
+            )
+        if self.minimum is not None:
+            # for tuple parameters the bound applies element-wise
+            below = (any(v < self.minimum for v in value)
+                     if self.type is tuple else value < self.minimum)
+            if below:
+                raise ConfigurationError(
+                    f"parameter {self.name!r} must be >= {self.minimum}, "
+                    f"got {value!r}"
+                )
+        return value
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly schema entry for the CLI and docs."""
+        info: Dict[str, object] = {
+            "name": self.name,
+            "type": self.type.__name__,
+            "default": self.default,
+            "description": self.description,
+        }
+        if self.choices is not None:
+            info["choices"] = list(self.choices)
+        if self.minimum is not None:
+            info["minimum"] = self.minimum
+        if self.length is not None:
+            info["length"] = self.length
+        return info
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One fully-specified workload configuration.
+
+    Frozen so a request can be stored, replayed, compared and put in result
+    provenance without defensive copying.  ``params`` holds the
+    workload-specific sizes/shapes (validated against the workload's
+    :class:`ParamSpec` schema); everything portable across workloads — GPU,
+    backend, precision, measurement protocol, fast-math — is a first-class
+    field.
+    """
+
+    workload: str
+    gpu: str = "h100"
+    backend: str = "mojo"
+    precision: str = "float64"
+    params: Mapping[str, object] = field(default_factory=dict)
+    protocol: MeasurementProtocol = DEFAULT_PROTOCOL
+    fast_math: bool = False
+    verify: bool = True
+
+    def __post_init__(self):
+        # Freeze the parameter mapping (the dataclass itself is frozen, but a
+        # caller-supplied dict would still be mutable through the alias).
+        object.__setattr__(self, "params",
+                           MappingProxyType(dict(self.params)))
+
+    def __hash__(self):
+        # explicit hash: the generated one would choke on the params
+        # mappingproxy.  Consistent with the generated __eq__ — equal params
+        # mappings produce equal sorted item tuples.
+        return hash((self.workload, self.gpu, self.backend, self.precision,
+                     tuple(sorted(self.params.items())), self.protocol,
+                     self.fast_math, self.verify))
+
+    def replace(self, **changes) -> "RunRequest":
+        """A copy of this request with the given fields replaced."""
+        # __post_init__ re-wraps params on every construction, so the
+        # carried-over mappingproxy round-trips through dataclasses.replace
+        return replace(self, **changes)
+
+    def with_params(self, **params) -> "RunRequest":
+        """A copy of this request with ``params`` entries merged in."""
+        merged = dict(self.params)
+        merged.update(params)
+        return self.replace(params=merged)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view of the request."""
+        return {
+            "workload": self.workload,
+            "gpu": self.gpu,
+            "backend": self.backend,
+            "precision": self.precision,
+            "params": dict(self.params),
+            "protocol": {"warmup": self.protocol.warmup,
+                         "repeats": self.protocol.repeats},
+            "fast_math": self.fast_math,
+            "verify": self.verify,
+        }
+
+
+@dataclass(frozen=True)
+class Verification:
+    """Outcome of a workload's functional verification."""
+
+    ran: bool
+    passed: bool
+    #: maximum relative error against the reference (None when not run)
+    max_rel_error: Optional[float] = None
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        err = self.max_rel_error
+        if err is not None and not math.isfinite(err):
+            err = None
+        return {"ran": self.ran, "passed": self.passed,
+                "max_rel_error": err, "detail": self.detail}
+
+
+@dataclass
+class WorkloadResult:
+    """Uniform result of one workload run.
+
+    ``metrics`` maps metric names to floats; ``primary_metric`` names the one
+    the workload is judged by (bandwidth for the memory-bound kernels,
+    GFLOP/s for miniBUDE, kernel time for Hartree–Fock).  ``timing`` maps a
+    kernel label (``"kernel"`` for single-kernel workloads, the operation
+    name for BabelStream) to its :class:`~repro.gpu.timing.TimingBreakdown`.
+    ``raw`` keeps the legacy per-kernel result object for callers migrating
+    off the old ``run_*`` surface.
+    """
+
+    request: RunRequest
+    metrics: Dict[str, float]
+    primary_metric: str
+    verification: Verification
+    timing: Dict[str, object] = field(default_factory=dict)
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+    provenance: Dict[str, object] = field(default_factory=dict)
+    raw: object = None
+
+    @property
+    def workload(self) -> str:
+        return self.request.workload
+
+    @property
+    def primary_value(self) -> float:
+        return self.metrics[self.primary_metric]
+
+    def to_row(self) -> Dict[str, object]:
+        """Flatten into a row for :class:`~repro.harness.results.ResultTable`."""
+        params = " ".join(f"{k}={v}" for k, v in self.request.params.items())
+        err = self.verification.max_rel_error
+        return {
+            "workload": self.workload,
+            "gpu": self.request.gpu,
+            "backend": self.request.backend,
+            "precision": self.request.precision,
+            "params": params,
+            "metric": self.primary_metric,
+            "value": self.primary_value,
+            "verified": self.verification.ran and self.verification.passed,
+            "max_rel_error": err if err is not None and math.isfinite(err)
+                             else None,
+        }
+
+    #: the columns :meth:`to_row` produces, in render order
+    ROW_COLUMNS = ("workload", "gpu", "backend", "precision", "params",
+                   "metric", "value", "verified", "max_rel_error")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly payload; identical schema for every workload.
+
+        Non-finite metric/sample values become ``None`` so the export is
+        strict JSON (``json.dumps`` would otherwise emit a bare ``NaN``).
+        """
+        def finite(value):
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            return value
+
+        timing = {}
+        for label, breakdown in self.timing.items():
+            timing[label] = (breakdown.as_dict()
+                             if hasattr(breakdown, "as_dict") else breakdown)
+        return {
+            "schema": "repro.workload-result/v1",
+            "workload": self.workload,
+            "request": self.request.as_dict(),
+            "primary_metric": self.primary_metric,
+            "metrics": {k: finite(v) for k, v in self.metrics.items()},
+            "verification": self.verification.as_dict(),
+            "timing": timing,
+            "samples": {k: [finite(s) for s in v]
+                        for k, v in self.samples.items()},
+            "provenance": dict(self.provenance),
+        }
+
+
+class Workload:
+    """Base class every science workload adapter implements.
+
+    Subclasses define ``name``, ``description``, ``params`` (a tuple of
+    :class:`ParamSpec`), the primary metric, and the three protocol methods:
+
+    * :meth:`reference` — the host (NumPy) reference computation;
+    * :meth:`verify` — functional verification through the simulator,
+      returning the maximum relative error;
+    * :meth:`_run` — execute one validated :class:`RunRequest`.
+    """
+
+    name: str = ""
+    description: str = ""
+    params: Tuple[ParamSpec, ...] = ()
+    primary_metric: str = ""
+    #: unit of the primary metric, for display
+    primary_unit: str = ""
+    #: precisions the kernel supports (miniBUDE is fp32-only, HF fp64-only)
+    precisions: Tuple[str, ...] = ("float32", "float64")
+    default_precision: str = "float64"
+    #: how per-repeat samples are produced: "synthetic-jitter" honours the
+    #: request protocol's repeat count; "single-evaluation" evaluates the
+    #: analytic model once and collects no samples
+    sampling: str = "synthetic-jitter"
+
+    # ------------------------------------------------------------- parameters
+    def param_schema(self) -> Dict[str, ParamSpec]:
+        return {spec.name: spec for spec in self.params}
+
+    def default_params(self) -> Dict[str, object]:
+        return {spec.name: spec.default for spec in self.params}
+
+    def validate_params(self, params: Optional[Mapping[str, object]] = None,
+                        ) -> Dict[str, object]:
+        """Apply defaults and validate; raises :class:`ConfigurationError`."""
+        schema = self.param_schema()
+        given = dict(params or {})
+        unknown = set(given) - set(schema)
+        if unknown:
+            raise ConfigurationError(
+                f"workload {self.name!r} has no parameter(s) "
+                f"{sorted(unknown)}; known: {sorted(schema)}"
+            )
+        validated = {}
+        for name, spec in schema.items():
+            value = given.get(name, spec.default)
+            validated[name] = spec.coerce(value)
+        return validated
+
+    def make_request(self, **kwargs) -> RunRequest:
+        """Build a validated :class:`RunRequest` for this workload.
+
+        ``precision=None`` (or omitting it) selects the workload's default —
+        the kernels do not all support both floating-point widths.
+        """
+        params = self.validate_params(kwargs.pop("params", None))
+        requested = kwargs.pop("workload", None)
+        if requested not in (None, self.name):
+            raise ConfigurationError(
+                f"cannot build a request for workload {requested!r} via "
+                f"{self.name!r}; use get_workload({requested!r})"
+            )
+        if kwargs.get("precision") is None:
+            kwargs["precision"] = self.default_precision
+        request = RunRequest(workload=self.name, params=params, **kwargs)
+        self._check_precision(request.precision)
+        return request
+
+    def _check_precision(self, precision: str) -> None:
+        if precision not in self.precisions:
+            raise ConfigurationError(
+                f"workload {self.name!r} supports precisions "
+                f"{list(self.precisions)}, got {precision!r}"
+            )
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly schema of the whole workload, for the CLI."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "primary_metric": self.primary_metric,
+            "primary_unit": self.primary_unit,
+            "precisions": list(self.precisions),
+            "default_precision": self.default_precision,
+            "sampling": self.sampling,
+            "params": [spec.describe() for spec in self.params],
+        }
+
+    # --------------------------------------------------------------- protocol
+    def reference(self, **params):
+        """Host reference computation (NumPy), for small problem sizes."""
+        raise NotImplementedError
+
+    def verify(self, **params) -> float:
+        """Functional verification; returns the max relative error."""
+        raise NotImplementedError
+
+    def _run(self, request: RunRequest) -> WorkloadResult:
+        raise NotImplementedError
+
+    def run(self, request: RunRequest) -> WorkloadResult:
+        """Validate *request* and execute it.
+
+        A :class:`VerificationError` raised by the workload's checker is
+        folded into the result (``verification.passed=False``) rather than
+        propagated, so sweeps over many configurations always complete; the
+        benchmark is re-run without verification so the folded result still
+        has the full metric payload.
+        """
+        if request.workload not in (self.name, ""):
+            raise ConfigurationError(
+                f"request for workload {request.workload!r} dispatched to "
+                f"{self.name!r}"
+            )
+        self._check_precision(request.precision)
+        request = request.replace(workload=self.name,
+                                  params=self.validate_params(request.params))
+        try:
+            return self._run(request)
+        except VerificationError as exc:
+            # Re-run without verification so the folded result still carries
+            # the workload's full metric/sample/timing payload — consumers
+            # reading non-primary metrics must not crash on a verification
+            # failure.
+            result = self._run(request.replace(verify=False))
+            result.request = request
+            result.verification = Verification(
+                ran=True, passed=False,
+                max_rel_error=getattr(exc, "max_rel_error", None),
+                detail=str(exc))
+            return result

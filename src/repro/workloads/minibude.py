@@ -1,0 +1,145 @@
+"""Unified-API adapter for the miniBUDE workload.
+
+The benchmark engine (:func:`bench_minibude`) lives here; the legacy
+:func:`repro.kernels.minibude.runner.run_minibude` is a thin shim over it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..backends import get_backend
+from ..gpu.specs import get_gpu
+from ..kernels.minibude.deck import BM1_NPOSES, Deck, make_bm1, make_deck
+from ..kernels.minibude.kernel import fasten_kernel_model
+from ..kernels.minibude.metrics import gflops
+from ..kernels.minibude.reference import reference_energies
+from ..kernels.minibude.runner import (
+    MiniBudeResult,
+    minibude_launch_config,
+    run_fasten_functional,
+)
+from .base import ParamSpec, RunRequest, Verification, Workload, WorkloadResult
+from .provenance import build_provenance
+
+__all__ = ["MiniBudeWorkload", "bench_minibude"]
+
+
+def bench_minibude(
+    *,
+    ppwi: int = 1,
+    wgsize: int = 64,
+    nposes: int = BM1_NPOSES,
+    backend: str = "mojo",
+    gpu: str = "h100",
+    fast_math: bool = False,
+    deck: Optional[Deck] = None,
+    verify: bool = True,
+    verify_poses: int = 64,
+    seed: int = 2025,
+) -> MiniBudeResult:
+    """Benchmark one miniBUDE configuration (bm1 by default).
+
+    Functional verification runs the device kernel on a reduced deck; the
+    reported GFLOP/s for the requested configuration comes from Eq. 3 applied
+    to the modelled kernel time.
+    """
+    spec = get_gpu(gpu)
+    be = get_backend(backend)
+    full_deck = deck or make_bm1(nposes, seed=seed)
+
+    verified = False
+    max_rel_error = float("nan")
+    if verify:
+        small = make_deck(natlig=min(full_deck.natlig, 8),
+                          natpro=min(full_deck.natpro, 32),
+                          ntypes=full_deck.ntypes,
+                          nposes=verify_poses, seed=seed, name="verify")
+        _, max_rel_error = run_fasten_functional(
+            small, ppwi=min(ppwi, 2), wgsize=min(wgsize, 8), gpu=gpu)
+        verified = True
+
+    model = fasten_kernel_model(ppwi=ppwi, natlig=full_deck.natlig,
+                                natpro=full_deck.natpro, wgsize=wgsize)
+    launch = minibude_launch_config(full_deck.nposes, ppwi, wgsize)
+    run = be.time(model, spec, launch, fast_math=fast_math)
+    time_s = run.timing.kernel_time_s
+    achieved = gflops(ppwi, full_deck.natlig, full_deck.natpro,
+                      full_deck.nposes, time_s)
+
+    return MiniBudeResult(
+        ppwi=ppwi,
+        wgsize=wgsize,
+        nposes=full_deck.nposes,
+        natlig=full_deck.natlig,
+        natpro=full_deck.natpro,
+        backend=be.name,
+        gpu=spec.name,
+        fast_math=run.fast_math,
+        kernel_time_ms=run.timing.kernel_time_ms,
+        gflops=achieved,
+        verified=verified,
+        max_rel_error=max_rel_error,
+        timing=run.timing,
+    )
+
+
+class MiniBudeWorkload(Workload):
+    """miniBUDE ``fasten`` docking kernel (compute-bound, Figures 6-7)."""
+
+    name = "minibude"
+    description = ("miniBUDE fasten molecular-docking kernel on the bm1 deck "
+                   "(Eq. 3 GFLOP/s)")
+    primary_metric = "gflops"
+    primary_unit = "GFLOP/s"
+    precisions = ("float32",)
+    default_precision = "float32"
+    sampling = "single-evaluation"
+    params = (
+        ParamSpec("ppwi", int, 1, "poses per work-item", minimum=1),
+        ParamSpec("wgsize", int, 64, "work-group size", minimum=1),
+        ParamSpec("nposes", int, BM1_NPOSES,
+                  "number of poses (divisible by ppwi)", minimum=1),
+        ParamSpec("verify_poses", int, 64,
+                  "poses in the reduced verification deck", minimum=1),
+        ParamSpec("seed", int, 2025, "deck-generation seed"),
+    )
+
+    def reference(self, *, natlig: int = 8, natpro: int = 32,
+                  nposes: int = 64, seed: int = 2025):
+        """Vectorised reference energies for a reduced random deck."""
+        deck = make_deck(natlig=natlig, natpro=natpro, ntypes=4,
+                         nposes=nposes, seed=seed, name="reference")
+        return reference_energies(deck)
+
+    def verify(self, *, ppwi: int = 2, wgsize: int = 8,
+               verify_poses: int = 64, seed: int = 2025,
+               gpu: str = "h100") -> float:
+        """Device-kernel functional verification on a reduced deck."""
+        deck = make_deck(natlig=8, natpro=32, ntypes=4, nposes=verify_poses,
+                         seed=seed, name="verify")
+        _, err = run_fasten_functional(deck, ppwi=ppwi, wgsize=wgsize, gpu=gpu)
+        return err
+
+    def _run(self, request: RunRequest) -> WorkloadResult:
+        p = request.params
+        result = bench_minibude(
+            ppwi=p["ppwi"], wgsize=p["wgsize"], nposes=p["nposes"],
+            backend=request.backend, gpu=request.gpu,
+            fast_math=request.fast_math, verify=request.verify,
+            verify_poses=p["verify_poses"], seed=p["seed"],
+        )
+        return WorkloadResult(
+            request=request,
+            metrics={
+                "gflops": result.gflops,
+                "kernel_time_ms": result.kernel_time_ms,
+            },
+            primary_metric=self.primary_metric,
+            verification=Verification(ran=result.verified,
+                                      passed=result.verified,
+                                      max_rel_error=result.max_rel_error),
+            timing={"kernel": result.timing},
+            provenance=build_provenance(request, sampling=self.sampling),
+            raw=result,
+        )

@@ -1,0 +1,38 @@
+"""Provenance stamping for unified workload results."""
+
+from __future__ import annotations
+
+import platform
+from typing import Dict
+
+from ..backends import get_backend
+from ..gpu.specs import get_gpu
+from .base import RunRequest
+
+__all__ = ["build_provenance"]
+
+
+def build_provenance(request: RunRequest,
+                     sampling: str = "synthetic-jitter") -> Dict[str, object]:
+    """Describe how a result was produced: toolchain, hardware, versions.
+
+    ``sampling`` states how the per-repeat samples were obtained —
+    ``"synthetic-jitter"`` when the measurement protocol drives a seeded
+    sample generator (stencil, BabelStream), ``"single-evaluation"`` when
+    the analytic model is evaluated once and the protocol's repeat count
+    does not apply (miniBUDE, Hartree–Fock).
+    """
+    from .. import __version__
+
+    be = get_backend(request.backend)
+    spec = get_gpu(request.gpu)
+    return {
+        "repro_version": __version__,
+        "backend": be.name,
+        "backend_display_name": be.display_name,
+        "gpu": spec.name,
+        "gpu_full_name": spec.full_name,
+        "python": platform.python_version(),
+        "substrate": "simulated",
+        "sampling": sampling,
+    }

@@ -1,0 +1,144 @@
+"""Unified-API adapter for the seven-point stencil workload.
+
+The benchmark engine (:func:`bench_stencil`) lives here; the legacy
+:func:`repro.kernels.stencil.runner.run_stencil` is a thin shim over it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..backends import get_backend
+from ..gpu.specs import get_gpu
+from ..kernels.stencil.kernel import stencil_kernel_model
+from ..kernels.stencil.metrics import effective_bandwidth_gbs
+from ..kernels.stencil.problem import StencilProblem
+from ..kernels.stencil.reference import laplacian_reference
+from ..kernels.stencil.runner import (
+    FUNCTIONAL_VERIFY_MAX_L,
+    StencilResult,
+    stencil_launch_config,
+    verify_stencil_kernel,
+)
+from .base import ParamSpec, RunRequest, Verification, Workload, WorkloadResult
+from .provenance import build_provenance
+
+__all__ = ["StencilWorkload", "bench_stencil"]
+
+
+def bench_stencil(
+    *,
+    L: int = 512,
+    precision: str = "float64",
+    backend: str = "mojo",
+    gpu: str = "h100",
+    block_shape: Tuple[int, int, int] = (512, 1, 1),
+    iterations: int = 100,
+    warmup: int = 1,
+    jitter: float = 0.02,
+    seed: int = 2025,
+    verify: bool = True,
+    fast_math: bool = False,
+) -> StencilResult:
+    """Benchmark one stencil configuration.
+
+    Functional verification runs on a reduced grid (the numerics of the
+    kernel do not depend on ``L``); the reported bandwidth for the requested
+    ``L`` comes from the backend timing model, evaluated per Eq. 1.  The
+    ``iterations``/``jitter`` parameters produce the per-run samples that give
+    Figure 3 its measurement spread (seeded, hence reproducible).
+    """
+    spec = get_gpu(gpu)
+    be = get_backend(backend)
+
+    max_rel_error = float("nan")
+    verified = False
+    if verify:
+        verify_l = min(L, FUNCTIONAL_VERIFY_MAX_L)
+        max_rel_error = verify_stencil_kernel(verify_l, precision, gpu,
+                                              block_shape=(8, 4, 4))
+        verified = True
+
+    model = stencil_kernel_model(L=L, precision=precision)
+    launch = stencil_launch_config(L, block_shape)
+    run = be.time(model, spec, launch, fast_math=fast_math)
+    time_s = run.timing.kernel_time_s
+    bandwidth = effective_bandwidth_gbs(L, precision, time_s)
+
+    rng = np.random.default_rng(seed)
+    samples = []
+    for i in range(max(iterations - warmup, 0)):
+        noise = 1.0 + rng.normal(0.0, jitter)
+        samples.append(bandwidth * max(noise, 0.5))
+
+    return StencilResult(
+        L=L,
+        precision=precision,
+        backend=be.name,
+        gpu=spec.name,
+        block_shape=tuple(block_shape),
+        kernel_time_ms=run.timing.kernel_time_ms,
+        bandwidth_gbs=bandwidth,
+        verified=verified,
+        max_rel_error=max_rel_error,
+        timing=run.timing,
+        samples_gbs=samples,
+    )
+
+
+class StencilWorkload(Workload):
+    """Seven-point Laplacian stencil (memory-bound, Figure 3 / Table 2)."""
+
+    name = "stencil"
+    description = "Seven-point Laplacian stencil on an L^3 grid (Eq. 1 bandwidth)"
+    primary_metric = "bandwidth_gbs"
+    primary_unit = "GB/s"
+    params = (
+        ParamSpec("L", int, 512, "cubic domain edge length", minimum=3),
+        ParamSpec("block_shape", tuple, (512, 1, 1),
+                  "thread-block shape bx,by,bz", minimum=1, length=3),
+        ParamSpec("jitter", float, 0.02,
+                  "relative per-sample measurement noise", minimum=0.0),
+        ParamSpec("seed", int, 2025, "RNG seed for the sample noise"),
+    )
+
+    def reference(self, *, L: int = 32, precision: str = "float64"):
+        """NumPy Laplacian of the standard initial field on an ``L^3`` grid."""
+        problem = StencilProblem(L, precision)
+        u = problem.initial_field()
+        return laplacian_reference(u, *problem.inverse_spacing_squared)
+
+    def verify(self, *, L: int = 18, precision: str = "float64",
+               gpu: str = "h100") -> float:
+        """Device-kernel functional verification; returns max relative error."""
+        return verify_stencil_kernel(min(L, FUNCTIONAL_VERIFY_MAX_L),
+                                     precision, gpu)
+
+    def _run(self, request: RunRequest) -> WorkloadResult:
+        p = request.params
+        proto = request.protocol
+        result = bench_stencil(
+            L=p["L"], precision=request.precision, backend=request.backend,
+            gpu=request.gpu, block_shape=p["block_shape"],
+            iterations=proto.repeats + proto.warmup, warmup=proto.warmup,
+            jitter=p["jitter"], seed=p["seed"], verify=request.verify,
+            fast_math=request.fast_math,
+        )
+        return WorkloadResult(
+            request=request,
+            metrics={
+                "bandwidth_gbs": result.bandwidth_gbs,
+                "mean_bandwidth_gbs": result.mean_bandwidth_gbs,
+                "kernel_time_ms": result.kernel_time_ms,
+            },
+            primary_metric=self.primary_metric,
+            verification=Verification(ran=result.verified,
+                                      passed=result.verified,
+                                      max_rel_error=result.max_rel_error),
+            timing={"kernel": result.timing},
+            samples={"bandwidth_gbs": list(result.samples_gbs)},
+            provenance=build_provenance(request, sampling=self.sampling),
+            raw=result,
+        )

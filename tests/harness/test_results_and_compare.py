@@ -55,6 +55,34 @@ class TestResultTable:
         text = t.to_text()
         assert "e+06" in text and "e-06" in text and "-" in text
 
+    def test_json_round_trip(self):
+        t = self._table()
+        payload = json.loads(t.to_json())
+        rebuilt = ResultTable(columns=payload["columns"],
+                              title=payload["title"])
+        for row in payload["rows"]:
+            rebuilt.add_row(**row)
+        assert rebuilt.to_csv() == t.to_csv()
+        assert rebuilt.to_text() == t.to_text()
+        assert rebuilt.to_markdown() == t.to_markdown()
+
+    def test_csv_round_trip(self):
+        import csv as csv_mod
+        import io
+
+        t = self._table()
+        reader = csv_mod.DictReader(io.StringIO(t.to_csv()))
+        rows = list(reader)
+        assert [r["op"] for r in rows] == ["copy", "dot"]
+        assert [float(r["gbs"]) for r in rows] == [3300.5, 2500.0]
+
+    def test_as_dict_is_plain_data(self):
+        payload = self._table().as_dict()
+        assert payload["columns"] == ["op", "gbs"]
+        # mutating the export must not touch the table
+        payload["rows"][0]["op"] = "tampered"
+        assert self._table().rows[0]["op"] == "copy"
+
 
 class TestComparisons:
     def test_within_band(self):
@@ -129,3 +157,59 @@ class TestExperimentResult:
         assert payload["experiment_id"] == "figX"
         assert payload["all_passed"] is True
         assert payload["tables"][0]["rows"] == [{"a": 1}]
+
+    def test_json_tables_match_table_export(self):
+        r = self._result()
+        payload = json.loads(r.to_json())
+        assert payload["tables"] == [json.loads(t.to_json())
+                                     for t in r.tables]
+
+
+class FakeWorkloadResult:
+    """Anything implementing the to_row()/ROW_COLUMNS protocol tabulates."""
+
+    ROW_COLUMNS = ("workload", "gpu", "value")
+
+    def __init__(self, workload, gpu, value):
+        self._row = {"workload": workload, "gpu": gpu, "value": value}
+
+    def to_row(self):
+        return dict(self._row)
+
+
+class TestWorkloadResultTables:
+    def test_add_workload_results(self):
+        r = ExperimentResult("figY", "workload demo")
+        table = r.add_workload_results(
+            [FakeWorkloadResult("stencil", "h100", 1.0),
+             FakeWorkloadResult("stencil", "mi300a", 2.0)],
+            title="sweep")
+        assert table in r.tables
+        assert table.columns == ["workload", "gpu", "value"]
+        assert table.column("value") == [1.0, 2.0]
+
+    def test_column_subset(self):
+        r = ExperimentResult("figY", "workload demo")
+        table = r.add_workload_results(
+            [FakeWorkloadResult("stencil", "h100", 1.0)],
+            columns=["gpu", "value"])
+        assert table.columns == ["gpu", "value"]
+        assert table.rows == [{"gpu": "h100", "value": 1.0}]
+
+    def test_empty_results_rejected(self):
+        r = ExperimentResult("figY", "workload demo")
+        with pytest.raises(ConfigurationError):
+            r.add_workload_results([])
+
+    def test_real_workload_results_tabulate(self):
+        from repro.harness.runner import MeasurementProtocol
+        from repro.workloads import get_workload
+
+        wl = get_workload("stencil")
+        result = wl.run(wl.make_request(
+            params={"L": 32}, verify=False,
+            protocol=MeasurementProtocol(warmup=0, repeats=1)))
+        r = ExperimentResult("figY", "workload demo")
+        table = r.add_workload_results([result])
+        assert table.rows[0]["workload"] == "stencil"
+        json.loads(table.to_json())  # NaN-free, serialisable

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import functools
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import accepts_option, build_parser, main
 
 
 class TestParser:
@@ -51,6 +54,165 @@ class TestMain:
             main(["--version"])
         assert exc.value.code == 0
         assert "repro" in capsys.readouterr().out
+
+
+class TestVerifyDetection:
+    """`run --verify` probes the experiment signature via inspect, not
+    ``__code__.co_varnames`` (which breaks on wrapped/**kwargs runners)."""
+
+    def test_plain_keyword(self):
+        def run(*, quick=True, verify=False):
+            return None
+        assert accepts_option(run, "verify")
+        assert not accepts_option(run, "bogus")
+
+    def test_kwargs_runner(self):
+        def run(**options):
+            return None
+        assert accepts_option(run, "verify")
+
+    def test_wrapped_runner(self):
+        def inner(*, quick=True, verify=False):
+            return None
+
+        @functools.wraps(inner)
+        def run(*args, **kwargs):
+            return inner(*args, **kwargs)
+
+        # co_varnames of the wrapper sees neither name; the signature does.
+        assert "verify" not in run.__code__.co_varnames
+        assert accepts_option(run, "verify")
+
+    def test_positional_only_and_builtins(self):
+        assert not accepts_option(len, "verify")
+
+    def test_positional_only_parameter_not_keyword_passable(self):
+        namespace = {}
+        exec("def run(verify, /, quick=True):\n    return None", namespace)
+        assert not accepts_option(namespace["run"], "verify")
+        assert accepts_option(namespace["run"], "quick")
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_four_with_schemas(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("stencil", "babelstream", "minibude", "hartreefock"):
+            assert name in out
+        assert "--param L=512" in out and "primary metric" in out
+
+    def test_json_schema_export(self, capsys):
+        assert main(["workloads", "--json"]) == 0
+        schemas = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in schemas] == [
+            "babelstream", "hartreefock", "minibude", "stencil"]
+        assert all("params" in s and "primary_metric" in s for s in schemas)
+
+
+class TestBenchCommand:
+    def test_parser_options(self):
+        args = build_parser().parse_args(
+            ["bench", "stencil", "--gpu", "mi300a", "--backend", "hip",
+             "--param", "L=64", "--param", "seed=7", "--repeats", "3",
+             "--no-verify", "--json"])
+        assert args.workload == "stencil" and args.gpu == "mi300a"
+        assert args.param == ["L=64", "seed=7"] and args.repeats == 3
+        assert args.no_verify and args.json
+
+    def test_text_output(self, capsys):
+        code = main(["bench", "stencil", "--param", "L=64", "--no-verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bandwidth_gbs" in out and "metrics:" in out
+        assert "verification: skipped" in out
+
+    def test_markdown_output(self, capsys):
+        code = main(["bench", "stencil", "--param", "L=64", "--no-verify",
+                     "--markdown"])
+        assert code == 0
+        assert "| workload |" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("workload,params", [
+        ("stencil", ["--param", "L=64"]),
+        ("babelstream", ["--param", "n=262144"]),
+        ("minibude", ["--param", "nposes=1024", "--param", "ppwi=2",
+                      "--param", "wgsize=8"]),
+        ("hartreefock", ["--param", "natoms=16"]),
+    ])
+    def test_json_schema_identical_for_all_workloads(self, capsys, workload,
+                                                     params):
+        code = main(["bench", workload, "--gpu", "h100", "--backend", "mojo",
+                     "--repeats", "3", "--no-verify", "--json"] + params)
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == ["metrics", "primary_metric", "provenance",
+                                   "request", "samples", "schema", "table",
+                                   "timing", "verification", "workload"]
+        assert payload["workload"] == workload
+        assert payload["table"]["columns"][0] == "workload"
+        assert len(payload["table"]["rows"]) == 1
+
+    def test_verified_bench_exits_zero(self, capsys):
+        code = main(["bench", "hartreefock", "--param", "natoms=16",
+                     "--repeats", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verification"]["passed"] is True
+        assert payload["verification"]["max_rel_error"] < 1e-9
+
+    def test_unknown_workload_is_clean_error(self, capsys):
+        assert main(["bench", "heat3d"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_bad_param_is_clean_error(self, capsys):
+        assert main(["bench", "stencil", "--param", "L=many"]) == 2
+        assert "expects int" in capsys.readouterr().err
+
+    def test_malformed_param_is_clean_error(self, capsys):
+        assert main(["bench", "stencil", "--param", "L:64"]) == 2
+        assert "K=V" in capsys.readouterr().err
+
+    def test_unsupported_precision_is_clean_error(self, capsys):
+        assert main(["bench", "minibude", "--precision", "float64"]) == 2
+        assert "precisions" in capsys.readouterr().err
+
+    def test_launch_time_repro_error_is_clean_config_error(self, capsys):
+        # invalid values that only fail inside the engine (LaunchError, …)
+        # must exit 2 like any config error, not escape as a traceback
+        code = main(["bench", "minibude", "--param", "nposes=100",
+                     "--param", "ppwi=3", "--no-verify"])
+        assert code == 2
+        assert "divisible" in capsys.readouterr().err
+
+    def test_single_evaluation_sampling_is_announced(self, capsys):
+        assert main(["bench", "hartreefock", "--param", "natoms=16",
+                     "--repeats", "50", "--no-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "single model evaluation" in out
+
+
+class TestReportCommand:
+    def test_writes_markdown_document(self, tmp_path, capsys):
+        target = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", "fig5", "--write", str(target)]) == 0
+        assert "wrote 1 experiment report" in capsys.readouterr().out
+        document = target.read_text()
+        assert document.startswith("# EXPERIMENTS")
+        assert "| fig5 |" in document and "## fig5" in document
+
+    def test_prints_to_stdout_without_write(self, capsys):
+        assert main(["report", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "# EXPERIMENTS" in out and "## fig5" in out
+
+    def test_unknown_id_is_clean_error(self, capsys):
+        assert main(["report", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_all_keyword_matches_run_subcommand(self, tmp_path, capsys):
+        target = tmp_path / "all.md"
+        assert main(["report", "all", "--write", str(target)]) == 0
+        assert "wrote 10 experiment report" in capsys.readouterr().out
 
 
 class TestBenchCompare:
