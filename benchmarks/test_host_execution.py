@@ -89,27 +89,81 @@ def test_bench_workload_dispatch(benchmark):
     assert not result.verification.ran
 
 
-def test_bench_functional_executor_stencil(benchmark):
-    """Thread-level simulator throughput on a small stencil grid."""
-    problem = StencilProblem(12, "float64")
-    u_host = problem.initial_field()
-    invhx2, invhy2, invhz2, invhxyz2 = problem.inverse_spacing_squared
-    executor = KernelExecutor()
-
+def _stencil_executor_fixture(L):
+    """Shared setup for the executor-throughput benchmarks."""
     from repro.core.layout import Layout, LayoutTensor
-    layout = Layout.row_major(12, 12, 12)
-    u = LayoutTensor(DType.float64, layout, u_host.reshape(-1).copy(), mut=False,
-                     bounds_check=False)
-    f_store = np.zeros(12 ** 3)
+
+    problem = StencilProblem(L, "float64")
+    u_host = problem.initial_field()
+    args = problem.inverse_spacing_squared
+    layout = Layout.row_major(L, L, L)
+    u = LayoutTensor(DType.float64, layout, u_host.reshape(-1).copy(),
+                     mut=False, bounds_check=False)
+    f_store = np.zeros(L ** 3)
     f = LayoutTensor(DType.float64, layout, f_store, bounds_check=False)
-    launch = stencil_launch_config(12, (4, 4, 4))
+    launch = stencil_launch_config(L, (4, 4, 4))
+    return f_store, (f, u, L, L, L, *args), launch
+
+
+def test_bench_functional_executor_stencil(benchmark):
+    """Scalar (sequential) simulator throughput on a small stencil grid.
+
+    The mode is pinned so this baseline keeps guarding the one-Python-call-
+    per-thread path; the lockstep engine has its own benchmark below.
+    """
+    executor = KernelExecutor()
+    f_store, args, launch = _stencil_executor_fixture(12)
 
     def run():
         f_store[:] = 0.0
-        executor.launch(laplacian_kernel,
-                        (f, u, 12, 12, 12, invhx2, invhy2, invhz2, invhxyz2),
-                        launch)
+        executor.launch(laplacian_kernel, args, launch, mode="sequential")
         return f_store
 
     result = benchmark(run)
     assert np.any(result != 0.0)
+
+
+def test_bench_vectorized_executor_stencil(benchmark):
+    """Lockstep (vectorized) simulator throughput on the same stencil grid.
+
+    Same launch as ``test_bench_functional_executor_stencil``; the
+    baseline.json pair records the sequential→vectorized speedup the
+    ISSUE-3 acceptance demands (≥10x at tier-1 grid sizes).
+    """
+    executor = KernelExecutor()
+    f_store, args, launch = _stencil_executor_fixture(12)
+
+    def run():
+        f_store[:] = 0.0
+        executor.launch(laplacian_kernel, args, launch, mode="vectorized")
+        return f_store
+
+    result = benchmark(run)
+    assert np.any(result != 0.0)
+
+
+def test_bench_vectorized_babelstream_dot(benchmark):
+    """Lockstep per-block execution of the barrier/shared-memory Dot kernel."""
+    from repro.core.layout import Layout, LayoutTensor
+    from repro.kernels.babelstream.kernels import dot_kernel
+
+    n, tb, blocks = 1 << 14, 256, 8
+    rng = np.random.default_rng(11)
+    a_store = rng.normal(size=n)
+    b_store = rng.normal(size=n)
+    a = LayoutTensor(DType.float64, Layout.row_major(n), a_store,
+                     mut=False, bounds_check=False)
+    b = LayoutTensor(DType.float64, Layout.row_major(n), b_store,
+                     mut=False, bounds_check=False)
+    sums = np.zeros(blocks)
+    launch = LaunchConfig.make(blocks, tb)
+    executor = KernelExecutor()
+
+    def run():
+        sums[:] = 0.0
+        executor.launch(dot_kernel, (a, b, sums, n, tb), launch,
+                        mode="vectorized")
+        return sums
+
+    result = benchmark(run)
+    np.testing.assert_allclose(result.sum(), a_store @ b_store, rtol=1e-10)

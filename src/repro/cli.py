@@ -12,7 +12,11 @@ Subcommands
     List the registered science workloads with their parameter schemas.
 ``bench <workload>``
     Run one workload through the unified Workload API and print (or export
-    as JSON/markdown) its uniform result.
+    as JSON/markdown) its uniform result.  Results are memoised by their
+    frozen request in the on-disk result cache (``.repro_cache/`` by
+    default), so repeating an identical invocation is near-free;
+    ``--no-cache`` bypasses it and ``--executor`` selects the
+    functional-simulator mode.
 ``report``
     Regenerate experiment reports as one markdown document (the
     ``EXPERIMENTS.md`` the result modules reference).
@@ -20,7 +24,9 @@ Subcommands
     Guard the host-execution microbenchmarks against performance
     regressions: compare a pytest-benchmark export (running the benchmarks
     when none is supplied) against ``benchmarks/baseline.json`` and fail on
-    any regression beyond the threshold.
+    any regression beyond the threshold.  ``--quick`` restricts the run to
+    the fast executor/dispatch subset for the tier-1 pre-merge flow; the
+    report ends with the compile/result cache hit counters.
 """
 
 from __future__ import annotations
@@ -92,6 +98,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the backend's fast-math lowering")
     b_p.add_argument("--no-verify", action="store_true",
                      help="skip functional verification")
+    b_p.add_argument("--executor", default="auto",
+                     choices=["auto", "vectorized", "sequential",
+                              "cooperative"],
+                     help="functional-simulator mode for verification "
+                          "launches (default auto: lockstep vectorized for "
+                          "vector-safe kernels)")
+    b_p.add_argument("--no-cache", action="store_true",
+                     help="bypass the request-level result cache (use when "
+                          "iterating on workload code: cached results — "
+                          "including verification verdicts — assume the "
+                          "code is unchanged within a release)")
+    b_p.add_argument("--cache-dir", default=None, metavar="PATH",
+                     help="on-disk result-cache location (default "
+                          ".repro_cache/)")
     fmt = b_p.add_mutually_exclusive_group()
     fmt.add_argument("--json", action="store_true",
                      help="emit the uniform result schema as JSON")
@@ -123,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--update", action="store_true",
                          help="write the measured stats as the new baseline "
                               "instead of failing on regressions")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="run only the fast benchmark subset (the "
+                              "executor/dispatch microbenchmarks) — suitable "
+                              "for the tier-1 pre-merge flow; baseline "
+                              "entries not exercised are reported as "
+                              "'missing' without failing")
     return parser
 
 
@@ -231,6 +257,7 @@ def _cmd_bench(args) -> int:
     from .harness.results import ResultTable
     from .harness.runner import MeasurementProtocol
     from .workloads import get_workload
+    from .workloads.cache import DEFAULT_CACHE_DIR, ResultCache, run_cached
 
     workload = get_workload(args.workload)
     request = workload.make_request(
@@ -239,8 +266,20 @@ def _cmd_bench(args) -> int:
         protocol=MeasurementProtocol(warmup=args.warmup,
                                      repeats=args.repeats),
         fast_math=args.fast_math, verify=not args.no_verify,
+        executor=args.executor,
     )
-    result = workload.run(request)
+    cache_note = "disabled (--no-cache)"
+    if args.no_cache:
+        result = workload.run(request)
+    else:
+        # A disk-backed cache keyed by the frozen request makes repeated
+        # identical bench invocations near-free across processes.  The cache
+        # object is fresh per invocation, so the only possible outcomes are
+        # a disk hit or a miss that populates the store.
+        cache = ResultCache(disk_dir=args.cache_dir or DEFAULT_CACHE_DIR)
+        result = run_cached(request, cache=cache)
+        cache_note = ("hit (disk)" if cache.info()["disk_hits"]
+                      else "miss (stored)")
 
     table = ResultTable(columns=list(result.ROW_COLUMNS),
                         title=f"{workload.name} on {request.gpu} / "
@@ -270,6 +309,7 @@ def _cmd_bench(args) -> int:
             print(f"verification: {status}, max rel error {err}")
         else:
             print("verification: skipped (--no-verify)")
+        print(f"result cache: {cache_note}")
     return 0 if (not result.verification.ran
                  or result.verification.passed) else 1
 
@@ -315,8 +355,22 @@ def _cmd_report(ids: List[str], *, write: Optional[str], full: bool) -> int:
     return 0 if all(r.all_passed for r in results) else 1
 
 
-def _run_host_benchmarks(bench_file: str) -> str:
-    """Run the host-execution benchmarks, returning the JSON export path."""
+#: pytest ``-k`` expression selecting the fast benchmark subset for
+#: ``bench-compare --quick`` (the executor/dispatch microbenchmarks — the
+#: paths substrate changes regress first — while the multi-second reference
+#: benches stay out of the tier-1 flow)
+QUICK_BENCH_EXPR = "executor or dispatch or vectorized"
+
+
+def _run_host_benchmarks(bench_file: str, *, quick: bool = False,
+                         cache_stats_path: Optional[str] = None) -> str:
+    """Run the host-execution benchmarks, returning the JSON export path.
+
+    ``cache_stats_path`` is forwarded to the benchmark subprocess (via
+    ``REPRO_CACHE_STATS_PATH``), which dumps its compile/result cache
+    counters there at session end — see ``benchmarks/conftest.py``.
+    """
+    import os
     import subprocess
     import tempfile
 
@@ -325,7 +379,12 @@ def _run_host_benchmarks(bench_file: str) -> str:
     out.close()
     cmd = [sys.executable, "-m", "pytest", bench_file, "-q",
            "--benchmark-json", out.name]
-    proc = subprocess.run(cmd)
+    if quick:
+        cmd += ["-k", QUICK_BENCH_EXPR]
+    env = dict(os.environ)
+    if cache_stats_path:
+        env["REPRO_CACHE_STATS_PATH"] = cache_stats_path
+    proc = subprocess.run(cmd, env=env)
     if proc.returncode != 0:
         print(f"benchmark run failed (exit {proc.returncode}): {' '.join(cmd)}",
               file=sys.stderr)
@@ -334,35 +393,85 @@ def _run_host_benchmarks(bench_file: str) -> str:
 
 
 def _cmd_bench_compare(*, baseline: Optional[str], current: Optional[str],
-                       threshold: Optional[float], update: bool) -> int:
+                       threshold: Optional[float], update: bool,
+                       quick: bool = False) -> int:
     from .core.errors import ConfigurationError
     from .harness import benchcheck
 
     try:
         return _bench_compare_inner(benchcheck, baseline=baseline,
                                     current=current, threshold=threshold,
-                                    update=update)
+                                    update=update, quick=quick)
     except ConfigurationError as exc:
         print(f"bench-compare: {exc}", file=sys.stderr)
         return 2
 
 
+def _print_cache_counters(stats: Optional[dict] = None,
+                          origin: str = "this process") -> None:
+    """Report the substrate caches' hit/miss counters.
+
+    *stats* is the ``{"compile": ..., "result": ...}`` payload exported by
+    the benchmark subprocess; without it the current process's counters are
+    reported (meaningful when the caller itself exercised the caches).
+    """
+    if stats is None:
+        from .core.compiler import compile_cache_info
+        from .workloads.cache import result_cache_info
+
+        stats = {"compile": compile_cache_info(),
+                 "result": result_cache_info()}
+    compile_info = stats["compile"]
+    result_info = stats["result"]
+    print(f"compile cache ({origin}): {compile_info['hits']} hit(s), "
+          f"{compile_info['misses']} miss(es), "
+          f"{compile_info['size']}/{compile_info['maxsize']} entries")
+    print(f"result cache ({origin}):  {result_info['hits']} hit(s), "
+          f"{result_info['misses']} miss(es), "
+          f"{result_info['size']}/{result_info['maxsize']} entries")
+
+
 def _bench_compare_inner(benchcheck, *, baseline: Optional[str],
                          current: Optional[str], threshold: Optional[float],
-                         update: bool) -> int:
+                         update: bool, quick: bool = False) -> int:
     import os
+
+    import json as json_mod
+    import tempfile
+
+    from .core.errors import ConfigurationError
+
+    if update and quick:
+        # --update rewrites the whole baseline file; a quick-subset run
+        # would silently drop the reference-benchmark entries from it.
+        raise ConfigurationError(
+            "--update requires the full benchmark run; drop --quick")
 
     baseline_path = baseline or benchcheck.DEFAULT_BASELINE_PATH
     threshold = threshold if threshold is not None else benchcheck.DEFAULT_THRESHOLD
+    cache_stats = None
+    cache_origin = "this process"
     if current is None:
-        current_path = _run_host_benchmarks(benchcheck.DEFAULT_BENCH_FILE)
+        stats_file = tempfile.NamedTemporaryFile(prefix="repro-cache-stats-",
+                                                 suffix=".json", delete=False)
+        stats_file.close()
+        current_path = _run_host_benchmarks(benchcheck.DEFAULT_BENCH_FILE,
+                                            quick=quick,
+                                            cache_stats_path=stats_file.name)
         try:
             current_stats = benchcheck.load_stats(current_path)
-        finally:
             try:
-                os.unlink(current_path)
-            except OSError:  # pragma: no cover - best-effort cleanup
-                pass
+                with open(stats_file.name, "r", encoding="utf-8") as fh:
+                    cache_stats = json_mod.load(fh)
+                cache_origin = "benchmark run"
+            except (OSError, json_mod.JSONDecodeError):
+                cache_stats = None
+        finally:
+            for path in (current_path, stats_file.name):
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
     else:
         current_stats = benchcheck.load_stats(current)
 
@@ -374,9 +483,12 @@ def _bench_compare_inner(benchcheck, *, baseline: Optional[str],
     baseline_stats = benchcheck.load_stats(baseline_path)
     rows = benchcheck.compare_benchmarks(baseline_stats, current_stats,
                                          threshold=threshold)
-    print(f"bench-compare against {baseline_path} (threshold {threshold:g}x):")
+    subset = " (--quick subset)" if quick else ""
+    print(f"bench-compare against {baseline_path} "
+          f"(threshold {threshold:g}x){subset}:")
     for row in rows:
         print(row.to_text())
+    _print_cache_counters(cache_stats, cache_origin)
     failures = [r for r in rows if r.regressed]
     if failures:
         print(f"{len(failures)} benchmark(s) regressed more than "
@@ -411,7 +523,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args.ids, write=args.write, full=args.full)
     if args.command == "bench-compare":
         return _cmd_bench_compare(baseline=args.baseline, current=args.current,
-                                  threshold=args.threshold, update=args.update)
+                                  threshold=args.threshold, update=args.update,
+                                  quick=args.quick)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

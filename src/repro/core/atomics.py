@@ -7,6 +7,18 @@ read-modify-write is already atomic; in the cooperative (multi-threaded)
 executor a process-wide lock guarantees atomicity.  Every atomic is counted on
 the active thread's counter set so the profiler and the timing model can see
 atomic pressure.
+
+Array semantics
+---------------
+Under the vectorized executor one ``Atomic.fetch_add`` call carries *arrays*
+of indices and values — one element per lane.  The update is applied with the
+unbuffered ``numpy.ufunc.at`` form (``np.add.at`` and friends), so duplicate
+target indices within a call accumulate element by element in ascending-lane
+order, exactly as the same lanes would when executed one thread at a time.
+One lane-vector call counts ``num_lanes`` atomic events, keeping the
+:class:`~repro.gpu.executor.ExecutionCounters` identical across execution
+modes.  The lane form returns ``None`` (per-lane previous values are not
+materialised).
 """
 
 from __future__ import annotations
@@ -28,11 +40,21 @@ ArrayLike = Union[np.ndarray, LayoutTensor]
 
 
 def _resolve(target, index):
-    """Return (flat_array, flat_index) for an atomic target."""
+    """Return (flat_array, flat_index) for an atomic target.
+
+    ``flat_index`` is an int for one simulated thread, or an int array (one
+    entry per lane) when the vectorized executor issues the atomic for a
+    whole lane set at once.
+    """
     if isinstance(target, LayoutTensor):
         arr = target.ptr
         if isinstance(index, tuple):
-            flat = target.layout.offset(*index)
+            try:
+                flat = target.layout.offset(*index)
+            except TypeError:      # per-lane index arrays
+                flat = target.layout.offset_array(*index)
+        elif isinstance(index, np.ndarray):
+            flat = index
         else:
             flat = int(index)
         return arr, flat
@@ -41,20 +63,33 @@ def _resolve(target, index):
         arr = arr.reshape(-1)
     if isinstance(index, tuple):
         raise LaunchError("tuple indices require a LayoutTensor target")
+    if isinstance(index, np.ndarray):
+        return arr, index
     return arr, int(index)
 
 
-def _record_atomic() -> None:
+def _record_atomic(n: int = 1) -> None:
     try:
         state = current_thread_state()
     except LaunchError:
         return
     if state.counters is not None:
-        state.counters.record_atomic()
+        state.counters.record_atomic(n)
 
 
-def _rmw(target, index, value, op):
+def _rmw(target, index, value, op, ufunc=None):
     arr, flat = _resolve(target, index)
+    if isinstance(flat, np.ndarray):
+        if ufunc is None:
+            raise LaunchError("this atomic does not support lane-vector form")
+        flat = np.asarray(flat, dtype=np.intp)
+        if flat.size and (int(flat.min()) < 0 or int(flat.max()) >= arr.size):
+            raise LaunchError(
+                f"atomic lane index out of bounds for size {arr.size}")
+        _record_atomic(int(flat.size))
+        with _ATOMIC_LOCK:
+            ufunc.at(arr, flat, value)
+        return None
     if flat < 0 or flat >= arr.size:
         raise LaunchError(f"atomic index {flat} out of bounds for size {arr.size}")
     _record_atomic()
@@ -93,25 +128,27 @@ class Atomic:
         """
         if isinstance(target, AtomicView) and value is None:
             return _rmw(target.array, target.index, index_or_value,
-                        lambda old, v: old + v)
+                        lambda old, v: old + v, np.add)
         if value is None:
             raise LaunchError("Atomic.fetch_add(target, index, value) requires a value")
-        return _rmw(target, index_or_value, value, lambda old, v: old + v)
+        return _rmw(target, index_or_value, value, lambda old, v: old + v, np.add)
 
     @staticmethod
     def fetch_max(target, index, value):
         """Atomically take the maximum and return the previous value."""
-        return _rmw(target, index, value, lambda old, v: max(old, v))
+        return _rmw(target, index, value, lambda old, v: max(old, v), np.maximum)
 
     @staticmethod
     def fetch_min(target, index, value):
         """Atomically take the minimum and return the previous value."""
-        return _rmw(target, index, value, lambda old, v: min(old, v))
+        return _rmw(target, index, value, lambda old, v: min(old, v), np.minimum)
 
     @staticmethod
     def compare_exchange(target, index, expected, desired) -> bool:
         """Atomic compare-and-swap; returns True when the swap happened."""
         arr, flat = _resolve(target, index)
+        if isinstance(flat, np.ndarray):
+            raise LaunchError("compare_exchange does not support lane-vector form")
         _record_atomic()
         with _ATOMIC_LOCK:
             if arr[flat] == expected:

@@ -43,6 +43,12 @@ __all__ = [
     "current_thread_state",
     "bind_thread_state",
     "ceildiv",
+    "any_lane",
+    "all_lanes",
+    "lane_where",
+    "compress_lanes",
+    "masked_gather",
+    "masked_store",
 ]
 
 
@@ -160,11 +166,20 @@ class ThreadState:
         All threads of a block calling with the same *key* receive the same
         array object, which is how CUDA ``__shared__`` / Mojo
         ``stack_allocation[..., AddressSpace.SHARED]`` behave.
+
+        The allocation must be race-free under the cooperative executor:
+        every worker thread of a block calls this concurrently at kernel
+        entry, and a check-then-insert would let two workers allocate
+        distinct arrays — one thread then writes partial results into an
+        array nobody else reads.  ``dict.setdefault`` is atomic in CPython,
+        so exactly one allocation wins and every caller receives it.
         """
-        if key not in self.block_shared:
+        arr = self.block_shared.get(key)
+        if arr is None:
             np_dtype = dtype_from_any(dtype).to_numpy()
-            self.block_shared[key] = np.zeros(int(size), dtype=np_dtype)
-        return self.block_shared[key]
+            arr = self.block_shared.setdefault(
+                key, np.zeros(int(size), dtype=np_dtype))
+        return arr
 
     def barrier(self) -> None:
         """Block-level synchronisation."""
@@ -322,3 +337,102 @@ def stack_allocation(size: int, dtype, *, address_space: str = AddressSpace.SHAR
 def shared_array(size: int, dtype, key: Optional[str] = None) -> np.ndarray:
     """Convenience wrapper for a block-shared allocation."""
     return stack_allocation(size, dtype, address_space=AddressSpace.SHARED, key=key)
+
+
+# ---------------------------------------------------------------------------
+# SIMT-generic lane helpers
+#
+# A *vector-safe* kernel body is written once and executed in two regimes:
+#
+# * scalar — the sequential/cooperative executors run the body once per
+#   simulated thread; ``thread_idx.x`` is a Python int, conditions are plain
+#   bools, and these helpers degrade to trivial scalar operations;
+# * lockstep — the vectorized executor
+#   (:mod:`repro.gpu.vector_executor`) runs the body once per block (or once
+#   for the whole grid) with ``thread_idx.x`` as a NumPy index array, one
+#   element per lane; conditions become boolean masks and these helpers
+#   express the masked divergence (predicated branches) of SIMT hardware.
+#
+# The dispatch rule is uniform: a mask that is a ``np.ndarray`` means
+# "lockstep over lanes", anything else means "one scalar thread".
+# ---------------------------------------------------------------------------
+
+
+def any_lane(mask) -> bool:
+    """True when any active lane satisfies *mask*.
+
+    Scalar threads pass their plain boolean through, so the canonical
+    vector-safe guard ``if not any_lane(m): return`` keeps the original
+    per-thread early-exit semantics.
+    """
+    if isinstance(mask, np.ndarray):
+        return bool(mask.any())
+    return bool(mask)
+
+
+def all_lanes(mask) -> bool:
+    """True when every active lane satisfies *mask*."""
+    if isinstance(mask, np.ndarray):
+        return bool(mask.all())
+    return bool(mask)
+
+
+def lane_where(mask, value, other):
+    """Per-lane select: ``value`` where *mask* holds, else ``other``.
+
+    The vector-safe replacement for a data-dependent ``if``/``else`` whose
+    branches only compute values (no stores): scalar threads get a Python
+    conditional expression, lockstep lanes get :func:`numpy.where`.
+    """
+    if isinstance(mask, np.ndarray):
+        return np.where(mask, value, other)
+    return value if mask else other
+
+
+def compress_lanes(mask, *values):
+    """Restrict *values* to the lanes where *mask* holds.
+
+    Used directly after the ``if not any_lane(mask): return`` guard to drop
+    inactive lanes (e.g. the out-of-range tail threads of a 1-D launch), so
+    the remaining body can gather/scatter without per-access masking.  Scalar
+    threads reach this only when the mask held, so their values pass through
+    unchanged.  Returns a single value for a single input, a tuple otherwise.
+    """
+    if isinstance(mask, np.ndarray):
+        out = tuple(v[mask] if isinstance(v, np.ndarray) else v for v in values)
+    else:
+        out = values
+    return out[0] if len(out) == 1 else out
+
+
+def masked_gather(target, index, mask, other=0.0):
+    """Load ``target[index]`` on lanes where *mask* holds, *other* elsewhere.
+
+    Inactive lanes never dereference their (possibly out-of-range) index:
+    the lockstep path substitutes index 0 before the gather and replaces the
+    result with *other* afterwards, matching the behaviour of a predicated
+    load.
+    """
+    if isinstance(mask, np.ndarray):
+        safe = np.where(mask, index, 0)
+        return np.where(mask, target[safe], other)
+    return target[index] if mask else other
+
+
+def masked_store(target, index, value, mask) -> None:
+    """Store ``value`` into ``target[index]`` on lanes where *mask* holds.
+
+    The lockstep path compresses the index/value arrays to the active lanes
+    before scattering, so inactive lanes neither write nor evaluate an
+    out-of-range address.  Lanes are scattered in ascending-lane order, which
+    matches the sequential executor's thread order when duplicate indices
+    collide (last lane wins in both regimes).
+    """
+    if isinstance(mask, np.ndarray):
+        if not mask.any():
+            return
+        idx = np.broadcast_to(np.asarray(index), mask.shape)[mask]
+        vals = np.broadcast_to(np.asarray(value), mask.shape)[mask]
+        target[idx] = vals
+    elif mask:
+        target[index] = value

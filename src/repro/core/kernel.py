@@ -209,15 +209,31 @@ class Kernel:
     model_builder:
         Optional callable ``(**problem_params) -> KernelModel`` describing the
         kernel's resource usage for a given problem configuration.
+    vector_safe:
+        Declares that the body is written in the SIMT-generic style (lane
+        helpers from :mod:`repro.core.intrinsics`, no scalar-only control
+        flow), so the executor's lockstep ``vectorized`` mode may evaluate a
+        whole lane set per call.  Defaults to False: plain per-thread kernels
+        keep the scalar executors.  The flag is also cached on the underlying
+        function object so re-wraps of the same callable agree.
     """
 
     def __init__(self, fn: Callable, name: Optional[str] = None,
-                 model_builder: Optional[Callable[..., KernelModel]] = None):
+                 model_builder: Optional[Callable[..., KernelModel]] = None,
+                 vector_safe: Optional[bool] = None):
         if not callable(fn):
             raise LaunchError("Kernel requires a callable kernel body")
         self.fn = fn
         self.name = name or fn.__name__
         self.model_builder = model_builder
+        if vector_safe is None:
+            vector_safe = bool(getattr(fn, "_repro_vector_safe", False))
+        self.vector_safe = bool(vector_safe)
+        if self.vector_safe:
+            try:
+                fn._repro_vector_safe = True
+            except (AttributeError, TypeError):  # pragma: no cover
+                pass
         functools.update_wrapper(self, fn)
 
     def __call__(self, *args, **kwargs):
@@ -237,14 +253,21 @@ class Kernel:
 
 
 def kernel(fn: Optional[Callable] = None, *, name: Optional[str] = None,
-           model: Optional[Callable[..., KernelModel]] = None):
+           model: Optional[Callable[..., KernelModel]] = None,
+           vector_safe: Optional[bool] = None):
     """Decorator turning a per-thread function into a :class:`Kernel`.
 
     Usable bare (``@kernel``) or with options (``@kernel(model=...)``).
+    ``vector_safe=True`` marks the body as SIMT-generic (see :class:`Kernel`),
+    which lets the executor's lockstep ``vectorized`` mode run it; an
+    explicit ``vector_safe=False`` forces the scalar executors even when the
+    underlying function carries a cached vector-safe marking from an earlier
+    wrap.  The default (``None``) inherits the function's marking.
     """
 
     def wrap(f: Callable) -> Kernel:
-        return Kernel(f, name=name, model_builder=model)
+        return Kernel(f, name=name, model_builder=model,
+                      vector_safe=vector_safe)
 
     if fn is not None:
         return wrap(fn)

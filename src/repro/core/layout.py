@@ -118,6 +118,28 @@ class Layout:
             off += x * s
         return off
 
+    def offset_array(self, *index) -> np.ndarray:
+        """Vectorised :meth:`offset`: per-lane flat offsets for index arrays.
+
+        Each component may be an integer array (one entry per lane) or a
+        plain int broadcast across lanes; bounds are validated per lane.
+        Used by the vectorized executor's gather/scatter tensor accesses.
+        """
+        idx = _flatten_dims(index)
+        if len(idx) != self.rank:
+            raise LayoutError(
+                f"index rank {len(idx)} does not match layout rank {self.rank}"
+            )
+        off = 0
+        for i, (x, d, s) in enumerate(zip(idx, self.shape, self.strides)):
+            x = np.asarray(x)
+            if x.size and (int(x.min()) < 0 or int(x.max()) >= d):
+                raise LayoutError(
+                    f"lane index out of bounds for dimension {i} of extent {d}"
+                )
+            off = off + x * s
+        return off
+
     def nbytes(self, dtype) -> int:
         """Total size in bytes for elements of *dtype*."""
         return self.size * dtype_from_any(dtype).sizeof
@@ -211,10 +233,21 @@ class LayoutTensor:
     # thread, so the call frame a shared resolver helper would cost is
     # measurable in the functional-executor benchmarks.  Keep both copies in
     # sync when changing indexing semantics.
+    #
+    # Index components may also be NumPy integer arrays (one entry per lane
+    # of the vectorized executor), in which case the access is a gather /
+    # scatter over the flat storage.  The scalar hot path stays free of
+    # per-access isinstance checks: array indices surface as a TypeError from
+    # the scalar resolution (``int()`` / ``ndarray.item``) and are re-resolved
+    # through :meth:`Layout.offset_array` / fancy indexing.
     def __getitem__(self, index):
         if self.bounds_check:
-            off = (self.layout.offset(*index) if type(index) is tuple
-                   else self.layout.offset(index))
+            try:
+                off = (self.layout.offset(*index) if type(index) is tuple
+                       else self.layout.offset(index))
+            except TypeError:
+                off = (self.layout.offset_array(*index) if type(index) is tuple
+                       else self.layout.offset_array(index))
         elif type(index) is tuple:
             s = self._strides
             if len(index) == 3:
@@ -228,15 +261,22 @@ class LayoutTensor:
         else:
             off = index * self._strides[0]
         if self._f64:
-            return self._data.item(off)
+            try:
+                return self._data.item(off)
+            except TypeError:          # per-lane index array: gather
+                return self._data[off]
         return self._data[off]
 
     def __setitem__(self, index, value):
         if not self.mut:
             raise LayoutError(f"tensor {self.name or '<anonymous>'} is immutable")
         if self.bounds_check:
-            off = (self.layout.offset(*index) if type(index) is tuple
-                   else self.layout.offset(index))
+            try:
+                off = (self.layout.offset(*index) if type(index) is tuple
+                       else self.layout.offset(index))
+            except TypeError:
+                off = (self.layout.offset_array(*index) if type(index) is tuple
+                       else self.layout.offset_array(index))
         elif type(index) is tuple:
             s = self._strides
             if len(index) == 3:

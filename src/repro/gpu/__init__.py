@@ -7,6 +7,7 @@ timing model and the roofline model used to regenerate Figure 2.
 
 from .executor import ExecutionCounters, ExecutionResult, KernelExecutor
 from .memory import Allocation, AllocationTracker, MemorySpace, TransferModel
+from .vector_executor import VectorThreadState, kernel_vector_safe
 from .occupancy import OccupancyResult, compute_occupancy
 from .roofline import Roofline, RooflinePoint, classify_workload
 from .specs import A100_SXM, H100_NVL, MI250X, MI300A, GPUSpec, get_gpu, list_gpus, register_gpu
@@ -14,6 +15,7 @@ from .timing import KernelTimingModel, TimingBreakdown, estimate_cache_traffic
 
 __all__ = [
     "ExecutionCounters", "ExecutionResult", "KernelExecutor",
+    "VectorThreadState", "kernel_vector_safe",
     "Allocation", "AllocationTracker", "MemorySpace", "TransferModel",
     "OccupancyResult", "compute_occupancy",
     "Roofline", "RooflinePoint", "classify_workload",

@@ -2,7 +2,18 @@
 
 The executor runs a :class:`~repro.core.kernel.Kernel` over a grid of blocks
 and threads, exactly as a GPU would schedule it logically (every thread sees
-its own ``thread_idx`` / ``block_idx``).  Two execution modes exist:
+its own ``thread_idx`` / ``block_idx``).  Three execution modes exist:
+
+``vectorized``
+    Lockstep array-level execution (:mod:`repro.gpu.vector_executor`) for
+    kernels declared ``vector_safe``: ``thread_idx`` / ``block_idx`` resolve
+    to NumPy index arrays and each statement of the body executes for an
+    entire lane set at once — the whole grid (chunked) for barrier-free
+    kernels, one block per lane set for kernels with barriers / shared
+    memory.  Divergence is expressed through the lane helpers
+    (``any_lane`` / ``compress_lanes`` / ``lane_where`` / ``masked_store``)
+    and atomics take their ``np.add.at``-backed lane-vector form.  This is
+    the default mode for vector-safe kernels.
 
 ``sequential``
     Threads of a block run one after another in a plain Python loop.  Correct
@@ -17,21 +28,35 @@ its own ``thread_idx`` / ``block_idx``).  Two execution modes exist:
     launch and processes *all* blocks of the grid, synchronised by one
     reusable :class:`threading.Barrier` (an extra barrier wait at the end of
     each block keeps the pool in lockstep across block boundaries).  Required
-    for kernels such as BabelStream's ``Dot`` reduction that communicate
-    through shared memory across barriers.  The pre-overhaul implementation
-    spawned ``threads_per_block`` fresh OS threads for *every block*, which
-    made cooperative launches ``O(num_blocks)`` thread creations.
+    for kernels that communicate through shared memory across barriers but
+    are *not* vector-safe.
+
+Mode selection (``mode="auto"``) picks ``vectorized`` for vector-safe
+kernels, otherwise ``cooperative`` when :func:`kernel_uses_barrier` detects
+barriers / shared memory and ``sequential`` for everything else.  Requesting
+``mode="vectorized"`` for a kernel that is not vector-safe falls back to the
+appropriate scalar mode automatically (vector safety is a property of the
+kernel body, not of the request); the :class:`ExecutionResult` reports the
+mode that actually ran.
 
 Execution-mode / performance envelope
 -------------------------------------
 The functional simulator exists to check *correctness* of per-thread kernel
-code; it executes one Python call per simulated thread, so its throughput is
-roughly a few hundred thousand threads per second (sequential mode) and far
-less in cooperative mode.  Choose the cheapest tool that answers the
+code.  The scalar modes execute one Python call per simulated thread —
+roughly a few hundred thousand threads per second in sequential mode and far
+less in cooperative mode.  The vectorized mode amortises the interpreter
+over a whole lane set per statement, which moves launches of structured
+kernels by one to two orders of magnitude (the executor-stencil benchmark in
+``benchmarks/test_host_execution.py`` records both modes against
+``benchmarks/baseline.json``).  Choose the cheapest tool that answers the
 question:
 
-* **Functional simulation** (this module) — bit-accurate per-thread semantics,
-  atomics and barriers; use for small grids (≤ ~10^5 threads) in tests.
+* **Vectorized functional simulation** (default for the four science
+  kernels) — per-thread semantics with array-level throughput; fine up to
+  ~10^6-thread grids in tests.
+* **Scalar functional simulation** (``sequential`` / ``cooperative``) —
+  bit-accurate one-thread-at-a-time oracle; use for small grids and for
+  kernels whose control flow cannot be expressed lane-generically.
 * **Vectorized references** (``repro.kernels.*.reference``) — NumPy-evaluated
   whole-problem numerics (e.g. the batched ERI engine); use to validate
   results at realistic problem sizes.
@@ -40,9 +65,11 @@ question:
   execution at all, so problem size is irrelevant.
 
 Event counting uses per-worker local tallies that are merged into the shared
-:class:`ExecutionCounters` once per block, so no lock is taken per event.
-Kernel *durations* come from the analytic model in :mod:`repro.gpu.timing`,
-not from Python wall-clock.
+:class:`ExecutionCounters` once per block (the vectorized mode records whole
+lane sets per event), so no lock is taken per event — and the counters are
+identical across all three modes for the same launch.  Kernel *durations*
+come from the analytic model in :mod:`repro.gpu.timing`, not from Python
+wall-clock.
 """
 
 from __future__ import annotations
@@ -56,9 +83,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.errors import LaunchError
 from ..core.intrinsics import Dim3, ThreadState, bind_thread_state
 from ..core.kernel import Kernel, LaunchConfig
+from .vector_executor import kernel_vector_safe, run_vectorized
 
 __all__ = ["ExecutionCounters", "ExecutionResult", "KernelExecutor",
-           "kernel_uses_barrier"]
+           "kernel_uses_barrier", "kernel_vector_safe"]
 
 
 class ExecutionCounters:
@@ -79,13 +107,13 @@ class ExecutionCounters:
         self.atomics = 0
         self._lock = threading.Lock()
 
-    def record_barrier(self) -> None:
+    def record_barrier(self, n: int = 1) -> None:
         with self._lock:
-            self.barriers += 1
+            self.barriers += n
 
-    def record_atomic(self) -> None:
+    def record_atomic(self, n: int = 1) -> None:
         with self._lock:
-            self.atomics += 1
+            self.atomics += n
 
     def record_thread(self) -> None:
         with self._lock:
@@ -129,11 +157,11 @@ class _LocalTally:
         self.barriers = 0
         self.atomics = 0
 
-    def record_barrier(self) -> None:
-        self.barriers += 1
+    def record_barrier(self, n: int = 1) -> None:
+        self.barriers += n
 
-    def record_atomic(self) -> None:
-        self.atomics += 1
+    def record_atomic(self, n: int = 1) -> None:
+        self.atomics += n
 
     def flush(self, counters: ExecutionCounters) -> None:
         """Merge this tally into *counters* and reset it."""
@@ -232,7 +260,11 @@ class KernelExecutor:
         launch:
             Grid/block extents.
         mode:
-            ``"auto"`` (default), ``"sequential"`` or ``"cooperative"``.
+            ``"auto"`` (default), ``"vectorized"``, ``"sequential"`` or
+            ``"cooperative"``.  Both ``"auto"`` and an explicit
+            ``"vectorized"`` fall back to the scalar modes when the kernel is
+            not declared vector-safe; the returned result reports the mode
+            that ran.
         """
         if not isinstance(kern, Kernel):
             kern = Kernel(kern)
@@ -244,9 +276,12 @@ class KernelExecutor:
                 f"limit of {self.max_total_threads}; use the vectorized "
                 "reference implementation / timing model for large problems"
             )
-        if mode == "auto":
-            mode = "cooperative" if kernel_uses_barrier(kern) else "sequential"
-        if mode not in ("sequential", "cooperative"):
+        if mode in ("auto", "vectorized"):
+            if kernel_vector_safe(kern):
+                mode = "vectorized"
+            else:
+                mode = "cooperative" if kernel_uses_barrier(kern) else "sequential"
+        if mode not in ("sequential", "cooperative", "vectorized"):
             raise LaunchError(f"unknown execution mode {mode!r}")
         if mode == "cooperative" and launch.threads_per_block > self.MAX_COOPERATIVE_BLOCK:
             raise LaunchError(
@@ -256,7 +291,10 @@ class KernelExecutor:
 
         counters = ExecutionCounters()
         start = time.perf_counter()
-        if mode == "sequential":
+        if mode == "vectorized":
+            max_shared = run_vectorized(kern, args, launch, counters,
+                                        per_block=kernel_uses_barrier(kern))
+        elif mode == "sequential":
             max_shared = self._run_sequential(kern, args, launch, counters)
         else:
             max_shared = self._run_cooperative(kern, args, launch, counters)

@@ -1,0 +1,231 @@
+"""Lockstep (SIMT-vectorized) execution of vector-safe device kernels.
+
+The scalar executors in :mod:`repro.gpu.executor` pay one Python call per
+simulated thread, which caps functional simulation at roughly 10^5 threads
+per second.  This module evaluates a *vector-safe* kernel body (see
+:class:`repro.core.kernel.Kernel` and the lane helpers in
+:mod:`repro.core.intrinsics`) once per **lane set** instead: ``thread_idx`` /
+``block_idx`` resolve to NumPy index arrays carrying one element per lane,
+so every statement of the body executes for all lanes at once as array
+operations — the data-centric lockstep execution of per-thread code that
+Ziogas et al. and MIRGE use to reclaim array-level throughput without giving
+up per-thread semantics.
+
+Two lane-set granularities exist:
+
+* **whole grid** — kernels without barriers or shared memory have no
+  intra-block communication, so the entire launch is one lane set (chunked
+  at block boundaries to bound the size of the index arrays);
+* **per block** — kernels with ``barrier()`` / shared memory run one lane
+  set per block.  Because lockstep granularity is per *statement* — finer
+  than the per-barrier-phase split a diverging executor would need —
+  every lane has completed the pre-barrier statements when ``barrier()`` is
+  reached, so the barrier degenerates to an event-count bump of one barrier
+  per lane (keeping :class:`~repro.gpu.executor.ExecutionCounters` identical
+  to the scalar modes, where each simulated thread counts its own call).
+
+Masked divergence (``if`` guards, predicated accumulation) is expressed in
+the kernel body through the lane helpers (``any_lane`` + ``compress_lanes``
+for top-level guards, ``lane_where`` / ``masked_store`` for predicated
+branches); atomics take the ``np.add.at``-backed lane-vector form in
+:mod:`repro.core.atomics`.  Kernels that are not vector-safe fall back to the
+scalar executors automatically — see :meth:`KernelExecutor.launch`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.intrinsics import Dim3, bind_thread_state
+from ..core.kernel import Kernel
+
+__all__ = ["VectorThreadState", "LaneDim3", "kernel_vector_safe",
+           "run_vectorized", "VECTOR_CHUNK_LANES"]
+
+#: whole-grid lane sets are split at block boundaries so one chunk carries at
+#: most this many lanes (bounds the size of the per-lane index arrays)
+VECTOR_CHUNK_LANES = 1 << 18
+
+
+def kernel_vector_safe(kern) -> bool:
+    """True when *kern* declares its body safe for lockstep execution."""
+    if isinstance(kern, Kernel):
+        return kern.vector_safe
+    return bool(getattr(kern, "_repro_vector_safe", False))
+
+
+class LaneDim3:
+    """A ``dim3`` whose components may be per-lane index arrays.
+
+    Mirrors the attribute surface the intrinsic proxies read
+    (``thread_idx.x`` ...), but ``x``/``y``/``z`` are NumPy int arrays (one
+    entry per lane) — or plain ints when the component is uniform across the
+    lane set (e.g. ``block_idx`` in per-block mode).
+    """
+
+    __slots__ = ("x", "y", "z")
+
+    def __init__(self, x, y, z):
+        self.x = x
+        self.y = y
+        self.z = z
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LaneDim3({self.x!r}, {self.y!r}, {self.z!r})"
+
+
+class VectorThreadState:
+    """Lane-set execution state, bound in place of a scalar ``ThreadState``.
+
+    Presents the same attribute surface the intrinsic proxies, shared-memory
+    allocation and atomics read (``thread_idx``, ``block_idx``, ``block_dim``,
+    ``grid_dim``, ``block_shared``, ``counters``, ``_shared_seq``), but the
+    thread/block indices are :class:`LaneDim3` carrying one element per lane.
+    ``barrier()`` counts one barrier event per lane and synchronises nothing:
+    lockstep execution already guarantees every lane completed the preceding
+    statements.
+    """
+
+    __slots__ = ("thread_idx", "block_idx", "block_dim", "grid_dim",
+                 "block_shared", "block_barrier", "counters", "num_lanes",
+                 "_shared_seq")
+
+    def __init__(self, thread_idx: LaneDim3, block_idx, block_dim: Dim3,
+                 grid_dim: Dim3, num_lanes: int,
+                 block_shared: Optional[Dict] = None, counters=None):
+        self.thread_idx = thread_idx
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.num_lanes = int(num_lanes)
+        self.block_shared = block_shared if block_shared is not None else {}
+        self.block_barrier = None
+        self.counters = counters
+        self._shared_seq = 0
+
+    # ------------------------------------------------------------------ ids
+    @property
+    def linear_thread_id(self):
+        t, b = self.thread_idx, self.block_dim
+        return t.x + t.y * b.x + t.z * b.x * b.y
+
+    @property
+    def linear_block_id(self):
+        c, g = self.block_idx, self.grid_dim
+        return c.x + c.y * g.x + c.z * g.x * g.y
+
+    @property
+    def global_linear_id(self):
+        return self.linear_block_id * self.block_dim.total + self.linear_thread_id
+
+    # --------------------------------------------------------------- shared
+    def shared_alloc(self, key: str, size: int, dtype) -> np.ndarray:
+        """Return (allocating on first use) a block-shared array.
+
+        One logical allocation serves every lane of the block, exactly as one
+        ``__shared__`` array serves every thread.  Uses the same atomic
+        ``dict.setdefault`` form as ``ThreadState.shared_alloc``: the
+        vectorized executor is single-threaded today, but the allocation
+        paths must not diverge on the race the scalar one was fixed for.
+        """
+        arr = self.block_shared.get(key)
+        if arr is None:
+            from ..core.dtypes import dtype_from_any
+            np_dtype = dtype_from_any(dtype).to_numpy()
+            arr = self.block_shared.setdefault(
+                key, np.zeros(int(size), dtype=np_dtype))
+        return arr
+
+    def barrier(self) -> None:
+        """Lockstep barrier: counts one event per lane, synchronises nothing."""
+        if self.counters is not None:
+            self.counters.record_barrier(self.num_lanes)
+
+
+def _lane_indices(extent: Dim3):
+    """Per-lane (x, y, z) index arrays enumerating *extent*, x fastest.
+
+    The lane order matches ``_iter_dim3`` in the scalar executors, so
+    colliding scatters and unbuffered atomic accumulations visit elements in
+    the same order in every execution mode.
+    """
+    lin = np.arange(extent.total, dtype=np.int64)
+    x = lin % extent.x
+    y = (lin // extent.x) % extent.y
+    z = lin // (extent.x * extent.y)
+    return x, y, z
+
+
+def run_vectorized(kern, args, launch, counters, *, per_block: bool) -> int:
+    """Execute one launch in lockstep; returns the peak shared bytes/block.
+
+    ``per_block=True`` (kernels with barriers / shared memory) evaluates one
+    lane set per block; otherwise consecutive blocks are fused into whole-grid
+    chunks of at most :data:`VECTOR_CHUNK_LANES` lanes.
+    """
+    fn = kern.fn if isinstance(kern, Kernel) else kern
+    bd, gd = launch.block_dim, launch.grid_dim
+    tpb = bd.total
+    tx, ty, tz = _lane_indices(bd)
+    max_shared = 0
+
+    if per_block:
+        bx, by, bz = _lane_indices(gd)
+        state = VectorThreadState(
+            thread_idx=LaneDim3(tx, ty, tz),
+            block_idx=LaneDim3(0, 0, 0),
+            block_dim=bd, grid_dim=gd, num_lanes=tpb, counters=counters,
+        )
+        with bind_thread_state(state):
+            for bi in range(gd.total):
+                state.block_idx = LaneDim3(int(bx[bi]), int(by[bi]), int(bz[bi]))
+                state.block_shared = {}
+                state._shared_seq = 0
+                fn(*args)
+                shared = _shared_bytes(state.block_shared)
+                if shared > max_shared:
+                    max_shared = shared
+        counters.merge(threads_run=gd.total * tpb, blocks_run=gd.total)
+        return max_shared
+
+    # Whole-grid mode: blocks are independent, fuse them into lane chunks.
+    blocks_per_chunk = max(VECTOR_CHUNK_LANES // tpb, 1)
+    bx, by, bz = _lane_indices(gd)
+    state = VectorThreadState(
+        thread_idx=LaneDim3(tx, ty, tz),
+        block_idx=LaneDim3(0, 0, 0),
+        block_dim=bd, grid_dim=gd, num_lanes=tpb, counters=counters,
+    )
+    with bind_thread_state(state):
+        for start in range(0, gd.total, blocks_per_chunk):
+            stop = min(start + blocks_per_chunk, gd.total)
+            nblocks = stop - start
+            if nblocks == 1:
+                state.thread_idx = LaneDim3(tx, ty, tz)
+                state.block_idx = LaneDim3(int(bx[start]), int(by[start]),
+                                           int(bz[start]))
+                state.num_lanes = tpb
+            else:
+                state.thread_idx = LaneDim3(np.tile(tx, nblocks),
+                                            np.tile(ty, nblocks),
+                                            np.tile(tz, nblocks))
+                state.block_idx = LaneDim3(
+                    np.repeat(bx[start:stop], tpb),
+                    np.repeat(by[start:stop], tpb),
+                    np.repeat(bz[start:stop], tpb),
+                )
+                state.num_lanes = nblocks * tpb
+            state.block_shared = {}
+            state._shared_seq = 0
+            fn(*args)
+    counters.merge(threads_run=gd.total * tpb, blocks_run=gd.total)
+    return max_shared
+
+
+def _shared_bytes(block_shared: Dict) -> int:
+    total = 0
+    for arr in block_shared.values():
+        total += getattr(arr, "nbytes", 0)
+    return int(total)

@@ -95,9 +95,11 @@ class Sweep:
         """Call ``fn(**configuration)`` for every configuration.
 
         With ``workers=N`` (N > 1) the configurations are evaluated on a
-        thread pool; the returned list always preserves configuration order
-        regardless of completion order.  The default remains strictly
-        sequential.
+        thread pool.  The returned list is **guaranteed** to follow
+        configuration order regardless of worker completion order: one
+        future is submitted per configuration, in sweep order, and results
+        are collected from that same ordered list (never from an
+        as-completed iterator).  The default remains strictly sequential.
         """
         if workers is None or workers <= 1:
             return [fn(**cfg) for cfg in self]
@@ -109,7 +111,8 @@ class Sweep:
 
     # --------------------------------------------------------------- workloads
     #: configuration keys lifted into RunRequest fields rather than params
-    REQUEST_FIELDS = ("gpu", "backend", "precision", "fast_math", "verify")
+    REQUEST_FIELDS = ("gpu", "backend", "precision", "fast_math", "verify",
+                      "executor")
 
     def requests(self, workload, **base) -> Iterator["object"]:
         """Yield one validated ``RunRequest`` per configuration.
@@ -136,22 +139,33 @@ class Sweep:
             yield wl.make_request(params=params, **fields)
 
     def run_workload(self, workload, *, workers: Optional[int] = None,
-                     **base) -> List[object]:
+                     cache: bool = True, **base) -> List[object]:
         """Run a registered workload over every configuration.
 
-        Returns one ``WorkloadResult`` per configuration, in sweep order;
-        ``workers=N`` evaluates them on a thread pool like :meth:`run`.
+        Returns one ``WorkloadResult`` per configuration, in sweep order
+        (same ordering guarantee as :meth:`run`); ``workers=N`` evaluates
+        them on a thread pool.
+
+        Results are memoised by their frozen ``RunRequest`` through the
+        request-level result cache (:mod:`repro.workloads.cache`), so
+        repeated sweep points — and repeated sweeps over overlapping
+        configurations — are answered without re-running the workload.
+        Pass ``cache=False`` to force fresh runs.
         """
         from ..workloads import get_workload  # cycle-break, as in requests()
+        from ..workloads.cache import run_cached
 
         wl = get_workload(workload)
         reqs = list(self.requests(wl, **base))
+        # Close over the resolved instance: run_cached must not re-resolve
+        # by name, or sweeps over unregistered Workload instances break.
+        runner = (lambda r: run_cached(r, workload=wl)) if cache else wl.run
         if workers is None or workers <= 1:
-            return [wl.run(r) for r in reqs]
+            return [runner(r) for r in reqs]
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(wl.run, r) for r in reqs]
+            futures = [pool.submit(runner, r) for r in reqs]
             return [f.result() for f in futures]
 
 

@@ -4,12 +4,30 @@ Five array kernels measure sustainable memory bandwidth: Copy, Mul, Add,
 Triad and Dot.  The first four are element-wise streaming kernels; Dot is a
 grid-stride reduction using block shared memory and barriers, exactly as in
 the paper's portable Mojo port.
+
+All five bodies are vector-safe: the streaming kernels use the
+``any_lane``/``compress_lanes`` tail guard, and Dot expresses its grid-stride
+loop and shared-memory tree reduction through ``masked_gather`` /
+``masked_store``, so the lockstep executor runs it one block per lane set
+(the barriers degenerate to event counts — see
+:mod:`repro.gpu.vector_executor`).
 """
 
 from __future__ import annotations
 
 from ...core.dtypes import DType, dtype_from_any
-from ...core.intrinsics import barrier, block_dim, block_idx, grid_dim, shared_array, thread_idx
+from ...core.intrinsics import (
+    any_lane,
+    barrier,
+    block_dim,
+    block_idx,
+    compress_lanes,
+    grid_dim,
+    masked_gather,
+    masked_store,
+    shared_array,
+    thread_idx,
+)
 from ...core.kernel import KernelModel, MemoryPattern, kernel
 
 __all__ = [
@@ -28,44 +46,60 @@ SCALAR = 0.4
 BABELSTREAM_OPS = ("copy", "mul", "add", "triad", "dot")
 
 
-@kernel(name="copy_kernel")
+@kernel(name="copy_kernel", vector_safe=True)
 def copy_kernel(a, c, n):
     """``c[i] = a[i]``"""
     i = block_dim.x * block_idx.x + thread_idx.x
-    if i < n:
-        c[i] = a[i]
+    m = i < n
+    if not any_lane(m):
+        return
+    i = compress_lanes(m, i)
+    c[i] = a[i]
 
 
-@kernel(name="mul_kernel")
+@kernel(name="mul_kernel", vector_safe=True)
 def mul_kernel(b, c, scalar, n):
     """``b[i] = scalar * c[i]``"""
     i = block_dim.x * block_idx.x + thread_idx.x
-    if i < n:
-        b[i] = scalar * c[i]
+    m = i < n
+    if not any_lane(m):
+        return
+    i = compress_lanes(m, i)
+    b[i] = scalar * c[i]
 
 
-@kernel(name="add_kernel")
+@kernel(name="add_kernel", vector_safe=True)
 def add_kernel(a, b, c, n):
     """``c[i] = a[i] + b[i]``"""
     i = block_dim.x * block_idx.x + thread_idx.x
-    if i < n:
-        c[i] = a[i] + b[i]
+    m = i < n
+    if not any_lane(m):
+        return
+    i = compress_lanes(m, i)
+    c[i] = a[i] + b[i]
 
 
-@kernel(name="triad_kernel")
+@kernel(name="triad_kernel", vector_safe=True)
 def triad_kernel(a, b, c, scalar, n):
     """``a[i] = b[i] + scalar * c[i]``"""
     i = block_dim.x * block_idx.x + thread_idx.x
-    if i < n:
-        a[i] = b[i] + scalar * c[i]
+    m = i < n
+    if not any_lane(m):
+        return
+    i = compress_lanes(m, i)
+    a[i] = b[i] + scalar * c[i]
 
 
-@kernel(name="dot_kernel")
+@kernel(name="dot_kernel", vector_safe=True)
 def dot_kernel(a, b, block_sums, n, tb_size):
     """Grid-stride dot product with a block shared-memory tree reduction.
 
     Each block writes its partial sum into ``block_sums[block_idx.x]``; the
     host (or a second kernel) finishes the reduction, as in BabelStream.
+    The grid-stride loop and the tree reduction are predicated
+    (``masked_gather`` / ``masked_store``) rather than branched, so every
+    lane of a block walks the same statement sequence — which is also how
+    the divergence-free GPU implementation behaves.
     """
     tb_sum = shared_array(tb_size, DType.float64, key="tb_sum")
     i = block_dim.x * block_idx.x + thread_idx.x
@@ -73,21 +107,27 @@ def dot_kernel(a, b, block_sums, n, tb_size):
     threads_in_grid = block_dim.x * grid_dim.x
 
     acc = 0.0
-    while i < n:
-        acc += a[i] * b[i]
-        i += threads_in_grid
+    while any_lane(i < n):
+        m = i < n
+        acc = acc + masked_gather(a, i, m) * masked_gather(b, i, m)
+        i = i + threads_in_grid
     tb_sum[local_tid] = acc
 
     offset = block_dim.x // 2
     while offset > 0:
         barrier()
-        if local_tid < offset:
-            tb_sum[local_tid] += tb_sum[local_tid + offset]
+        m = local_tid < offset
+        masked_store(
+            tb_sum, local_tid,
+            masked_gather(tb_sum, local_tid, m)
+            + masked_gather(tb_sum, local_tid + offset, m),
+            m,
+        )
         offset //= 2
     barrier()
 
-    if local_tid == 0:
-        block_sums[block_idx.x] = tb_sum[0]
+    m0 = local_tid == 0
+    masked_store(block_sums, block_idx.x, tb_sum[0], m0)
 
 
 def babelstream_kernel_model(op: str, *, n: int, precision: str = "float64",

@@ -72,11 +72,14 @@ def run_babelstream_functional(
     tb_size: int = 64,
     num_iterations: int = 2,
     dot_blocks: int = 4,
+    executor: str = "auto",
 ) -> Dict[str, float]:
     """Run the five device kernels through the functional simulator.
 
     Uses a reduced vector size (the numerics do not depend on ``n``) and
-    returns the verification errors.  Raises on any mismatch.
+    returns the verification errors.  Raises on any mismatch.  ``executor``
+    selects the simulator mode for all five launches (``"auto"`` is the
+    lockstep vectorized engine for these vector-safe kernels).
     """
     dtype = dtype_from_any(precision)
     ctx = DeviceContext(gpu)
@@ -95,18 +98,25 @@ def run_babelstream_functional(
     dot_value = 0.0
     for _ in range(num_iterations):
         ctx.enqueue_function(copy_kernel, a, c, n,
-                             grid_dim=launch.grid_dim, block_dim=launch.block_dim)
+                             grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+                             mode=executor)
         ctx.enqueue_function(mul_kernel, b, c, SCALAR, n,
-                             grid_dim=launch.grid_dim, block_dim=launch.block_dim)
+                             grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+                             mode=executor)
         ctx.enqueue_function(add_kernel, a, b, c, n,
-                             grid_dim=launch.grid_dim, block_dim=launch.block_dim)
+                             grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+                             mode=executor)
         ctx.enqueue_function(triad_kernel, a, b, c, SCALAR, n,
-                             grid_dim=launch.grid_dim, block_dim=launch.block_dim)
+                             grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+                             mode=executor)
         dot_sums.fill(0.0)
         dot_tensor = dot_sums.tensor()
+        # Dot needs its barriers honoured: a "sequential" opt-out means
+        # "scalar", which for a barrier kernel is the cooperative pool.
+        dot_mode = "cooperative" if executor == "sequential" else executor
         ctx.enqueue_function(dot_kernel, a, b, dot_tensor, n, tb_size,
                              grid_dim=dot_launch.grid_dim,
-                             block_dim=dot_launch.block_dim)
+                             block_dim=dot_launch.block_dim, mode=dot_mode)
         ctx.synchronize()
         dot_value = float(dot_sums.copy_to_host().sum())
 
@@ -129,7 +139,8 @@ class BabelStreamBenchmark:
                  backend: str = "mojo", gpu: str = "h100",
                  tb_size: int = 1024, num_times: int = 100,
                  jitter: float = 0.01, seed: int = 2025,
-                 fast_math: bool = False, warmup: int = 1):
+                 fast_math: bool = False, warmup: int = 1,
+                 executor: str = "auto"):
         self.n = int(n)
         self.precision = precision
         self.backend = get_backend(backend)
@@ -142,6 +153,8 @@ class BabelStreamBenchmark:
         #: iterations discarded before sample collection (the BabelStream
         #: driver's first timing is traditionally treated as warm-up)
         self.warmup = int(warmup)
+        #: functional-simulator mode used for verification launches
+        self.executor = executor
 
     # ------------------------------------------------------------------ model
     def launch_for(self, op: str) -> LaunchConfig:
@@ -167,7 +180,8 @@ class BabelStreamBenchmark:
         verified = False
         if verify:
             verification_errors = run_babelstream_functional(
-                precision=self.precision, gpu=self.spec.name)
+                precision=self.precision, gpu=self.spec.name,
+                executor=self.executor)
             verified = True
 
         bandwidths: Dict[str, float] = {}

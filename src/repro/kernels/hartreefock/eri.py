@@ -33,7 +33,14 @@ _F0_SMALL = 1e-12
 
 
 def boys_f0(t: float) -> float:
-    """Zeroth-order Boys function ``F0(t)`` for a scalar argument."""
+    """Zeroth-order Boys function ``F0(t)``.
+
+    Scalar arguments use the ``math``-library evaluation; per-lane arrays
+    (the vectorized executor) dispatch to :func:`boys_f0_array`, so one
+    kernel body serves both execution regimes.
+    """
+    if isinstance(t, np.ndarray):
+        return boys_f0_array(t)
     if t < _F0_SMALL:
         return 1.0 - t / 3.0
     st = math.sqrt(t)

@@ -15,7 +15,14 @@ import numpy as np
 
 from ...core.atomics import Atomic
 from ...core.dtypes import DType
-from ...core.intrinsics import block_dim, block_idx, thread_idx
+from ...core.intrinsics import (
+    any_lane,
+    block_dim,
+    block_idx,
+    compress_lanes,
+    lane_where,
+    thread_idx,
+)
 from ...core.kernel import KernelModel, MemoryPattern, kernel
 from .eri import boys_f0, TWO_PI_POW_2_5
 
@@ -29,8 +36,12 @@ SCHWARZ_TOLERANCE = 1e-9
 def decode_pair(idx: int) -> tuple:
     """Decode a triangular index into ``(row, col)`` with ``row >= col``.
 
-    The inverse of ``idx = row*(row+1)/2 + col``.
+    The inverse of ``idx = row*(row+1)/2 + col``.  Per-lane index arrays
+    (the vectorized executor) dispatch to :func:`decode_pair_array`; both
+    forms produce identical integer results.
     """
+    if isinstance(idx, np.ndarray):
+        return decode_pair_array(idx)
     row = int((math.sqrt(8.0 * idx + 1.0) - 1.0) / 2.0)
     # Guard against floating point rounding at triangle boundaries.
     while (row + 1) * (row + 2) // 2 <= idx:
@@ -64,7 +75,7 @@ def decode_pair_array(idx) -> tuple:
     return row, col
 
 
-@kernel(name="hartree_fock_kernel")
+@kernel(name="hartree_fock_kernel", vector_safe=True)
 def hartree_fock_kernel(ngauss, natoms, nquads, schwarz, schwarz_tol,
                         xpnt, coef, geom, dens, fock):
     """Accumulate the two-electron part of the Fock matrix for one quadruple.
@@ -73,14 +84,24 @@ def hartree_fock_kernel(ngauss, natoms, nquads, schwarz, schwarz_tol,
     ``(natoms, natoms)`` tensors; ``schwarz`` holds the pair bounds in
     triangular order; ``xpnt``/``coef`` hold the primitive exponents and
     normalised contraction coefficients.
+
+    Vector-safe form: the launch-tail and Schwarz-screening early exits are
+    staged ``any_lane``/``compress_lanes`` guards (surviving lanes carry on),
+    the symmetry weights are per-lane selects, and the six Fock updates use
+    the lane-vector atomic form (``np.add.at`` semantics — identical
+    ascending-lane accumulation order to the scalar executors).
     """
     ijkl = block_idx.x * block_dim.x + thread_idx.x
-    if ijkl >= nquads:
+    m = ijkl < nquads
+    if not any_lane(m):
         return
+    ijkl = compress_lanes(m, ijkl)
 
     ij, kl = decode_pair(ijkl)
-    if schwarz[ij] * schwarz[kl] < schwarz_tol:
+    keep = schwarz[ij] * schwarz[kl] >= schwarz_tol
+    if not any_lane(keep):
         return
+    ij, kl = compress_lanes(keep, ij, kl)
 
     i, j = decode_pair(ij)
     k, l = decode_pair(kl)
@@ -98,14 +119,14 @@ def hartree_fock_kernel(ngauss, natoms, nquads, schwarz, schwarz_tol,
     for ib in range(ngauss):
         for jb in range(ngauss):
             aij = xpnt[ib] + xpnt[jb]
-            dij = coef[ib] * coef[jb] * math.exp(-xpnt[ib] * xpnt[jb] / aij * rab2)
+            dij = coef[ib] * coef[jb] * np.exp(-xpnt[ib] * xpnt[jb] / aij * rab2)
             pijx = (xpnt[ib] * ax + xpnt[jb] * bx) / aij
             pijy = (xpnt[ib] * ay + xpnt[jb] * by) / aij
             pijz = (xpnt[ib] * az + xpnt[jb] * bz) / aij
             for kb in range(ngauss):
                 for lb in range(ngauss):
                     akl = xpnt[kb] + xpnt[lb]
-                    dkl = coef[kb] * coef[lb] * math.exp(
+                    dkl = coef[kb] * coef[lb] * np.exp(
                         -xpnt[kb] * xpnt[lb] / akl * rcd2)
                     pklx = (xpnt[kb] * cx + xpnt[lb] * dx) / akl
                     pkly = (xpnt[kb] * cy + xpnt[lb] * dy) / akl
@@ -115,15 +136,12 @@ def hartree_fock_kernel(ngauss, natoms, nquads, schwarz, schwarz_tol,
                     aijkl = aij * akl / (aij + akl)
                     f0t = boys_f0(aijkl * rpq2)
                     prefac = TWO_PI_POW_2_5 / (aij * akl * math.sqrt(aij + akl))
-                    eri += dij * dkl * prefac * f0t
+                    eri = eri + dij * dkl * prefac * f0t
 
     # Symmetry weights for the unique-quadruple formulation.
-    if i == j:
-        eri *= 0.5
-    if k == l:
-        eri *= 0.5
-    if i == k and j == l:
-        eri *= 0.5
+    eri = eri * lane_where(i == j, 0.5, 1.0)
+    eri = eri * lane_where(k == l, 0.5, 1.0)
+    eri = eri * lane_where((i == k) & (j == l), 0.5, 1.0)
 
     # Six atomic Fock matrix updates (2 Coulomb, 4 exchange).
     Atomic.fetch_add(fock, (i, j), dens[k, l] * eri * 4.0)

@@ -107,11 +107,14 @@ def run_hartreefock_functional(natoms: int = 4, ngauss: int = 3, *,
                                gpu: str = "h100",
                                block_size: int = 16,
                                spacing: float = 2.5,
-                               schwarz_tol: float = 0.0) -> Tuple[np.ndarray, float]:
+                               schwarz_tol: float = 0.0,
+                               executor: str = "auto") -> Tuple[np.ndarray, float]:
     """Run the device kernel functionally on a small system and verify it.
 
     Returns ``(fock, max_rel_error)`` against the host quadruple reference.
     ``schwarz_tol=0`` disables screening so every quadruple is exercised.
+    ``executor`` selects the simulator mode (``"auto"`` is lockstep
+    vectorized).
     """
     system = make_helium_system(natoms, ngauss, spacing=spacing)
     schwarz = compute_schwarz(system)
@@ -137,7 +140,7 @@ def run_hartreefock_functional(natoms: int = 4, ngauss: int = 3, *,
     ctx.enqueue_function(
         hartree_fock_kernel, ngauss, n, nquads, schwarz_t, schwarz_tol,
         xpnt_t, coef_t, geom_t, dens_t, fock_t,
-        grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+        grid_dim=launch.grid_dim, block_dim=launch.block_dim, mode=executor,
     )
     ctx.synchronize()
 

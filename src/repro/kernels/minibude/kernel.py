@@ -14,10 +14,18 @@ FLOP-count model (Eq. 3) all describe the same arithmetic.
 
 from __future__ import annotations
 
-import math
+import numpy as np
 
 from ...core.dtypes import DType
-from ...core.intrinsics import block_dim, block_idx, thread_idx
+from ...core.intrinsics import (
+    any_lane,
+    block_dim,
+    block_idx,
+    compress_lanes,
+    lane_where,
+    masked_store,
+    thread_idx,
+)
 from ...core.kernel import KernelModel, MemoryPattern, kernel
 
 __all__ = ["fasten_kernel", "fasten_kernel_model",
@@ -32,7 +40,7 @@ HBTYPE_E = 69
 HALF = 0.5
 
 
-@kernel(name="fasten_kernel")
+@kernel(name="fasten_kernel", vector_safe=True)
 def fasten_kernel(ppwi, natlig, natpro, protein, ligand,
                   t0, t1, t2, t3, t4, t5,
                   etotals, forcefield, num_transforms):
@@ -43,11 +51,16 @@ def fasten_kernel(ppwi, natlig, natpro, protein, ligand,
     holds 4 floats per type ``(hbtype, radius, hphb, elsc)``, ``t0..t5`` are
     the per-pose transform parameters, ``etotals`` receives one energy per
     pose.
+
+    Vector-safe form: only the pose data varies per lane — the deck loops
+    (ligand, protein atoms and their forcefield entries) are uniform across
+    the lane set — so the per-pair energy conditionals become ``lane_where``
+    predication and the tail-thread clamp / final store become per-lane
+    selects / masked scatters.
     """
     lsz = block_dim.x
     ix = block_idx.x * lsz * ppwi + thread_idx.x
-    if ix >= num_transforms:
-        ix = num_transforms - ppwi
+    ix = lane_where(ix >= num_transforms, num_transforms - ppwi, ix)
 
     # Build the 3x4 rigid-body transform of each pose handled by this thread.
     transforms = []
@@ -56,9 +69,9 @@ def fasten_kernel(ppwi, natlig, natpro, protein, ligand,
         rx = t0[index]
         ry = t1[index]
         rz = t2[index]
-        sx, cx = math.sin(rx), math.cos(rx)
-        sy, cy = math.sin(ry), math.cos(ry)
-        sz, cz = math.sin(rz), math.cos(rz)
+        sx, cx = np.sin(rx), np.cos(rx)
+        sy, cy = np.sin(ry), np.cos(ry)
+        sz, cz = np.sin(rz), np.cos(rz)
         transforms.append((
             (cy * cz, sx * sy * cz - cx * sz, cx * sy * cz + sx * sz, t3[index]),
             (cy * sz, sx * sy * sz + cx * cz, cx * sy * sz - sx * cz, t4[index]),
@@ -110,30 +123,30 @@ def fasten_kernel(ppwi, natlig, natpro, protein, ligand,
                 dx = x - px
                 dy = y - py
                 dz = z - pz
-                distij = math.sqrt(dx * dx + dy * dy + dz * dz)
+                distij = np.sqrt(dx * dx + dy * dy + dz * dz)
 
                 # Steric clash term
                 zone1 = distij < radij
-                if zone1:
-                    etot[i] += (1.0 - distij * r_radij) * 2.0 * HARDNESS
+                etot[i] = etot[i] + lane_where(
+                    zone1, (1.0 - distij * r_radij) * 2.0 * HARDNESS, 0.0)
 
                 # Hydrophobic / de-solvation term (simplified miniBUDE form)
-                if distij < NPNPDIST:
-                    dslv = (p_hphb + l_hphb) * (1.0 - distij / NPNPDIST)
-                    etot[i] += dslv
+                dslv = (p_hphb + l_hphb) * (1.0 - distij / NPNPDIST)
+                etot[i] = etot[i] + lane_where(distij < NPNPDIST, dslv, 0.0)
 
                 # Electrostatic term
-                if distij < elcdst:
-                    chrg_e = p_elsc * l_elsc * (1.0 - distij * elcdst1) * CNSTNT
-                    if type_e and chrg_e < 0.0:
-                        chrg_e = 0.0
-                    etot[i] += chrg_e
+                chrg_e = p_elsc * l_elsc * (1.0 - distij * elcdst1) * CNSTNT
+                if type_e:
+                    chrg_e = lane_where(chrg_e < 0.0, 0.0, chrg_e)
+                etot[i] = etot[i] + lane_where(distij < elcdst, chrg_e, 0.0)
 
     # Write energy results
     td_base = block_idx.x * lsz * ppwi + thread_idx.x
-    if td_base < num_transforms:
-        for i in range(ppwi):
-            etotals[td_base + i * lsz] = etot[i] * HALF
+    in_range = td_base < num_transforms
+    if not any_lane(in_range):
+        return
+    for i in range(ppwi):
+        masked_store(etotals, td_base + i * lsz, etot[i] * HALF, in_range)
 
 
 def fasten_kernel_model(*, ppwi: int, natlig: int, natpro: int,

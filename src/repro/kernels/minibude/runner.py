@@ -61,11 +61,13 @@ def minibude_launch_config(nposes: int, ppwi: int, wgsize: int) -> LaunchConfig:
 
 
 def run_fasten_functional(deck: Deck, *, ppwi: int = 2, wgsize: int = 8,
-                          gpu: str = "h100") -> Tuple[np.ndarray, float]:
+                          gpu: str = "h100",
+                          executor: str = "auto") -> Tuple[np.ndarray, float]:
     """Run the fasten device kernel through the functional simulator.
 
     Returns ``(energies, max_rel_error)`` after verifying against the
-    vectorised reference.  Intended for reduced decks.
+    vectorised reference.  Intended for reduced decks.  ``executor`` selects
+    the simulator mode (``"auto"`` is lockstep vectorized).
     """
     launch = minibude_launch_config(deck.nposes, ppwi, wgsize)
     ctx = DeviceContext(gpu)
@@ -85,7 +87,7 @@ def run_fasten_functional(deck: Deck, *, ppwi: int = 2, wgsize: int = 8,
     ctx.enqueue_function(
         fasten_kernel, ppwi, deck.natlig, deck.natpro, protein, ligand,
         *transforms, etotals, forcefield, deck.nposes,
-        grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+        grid_dim=launch.grid_dim, block_dim=launch.block_dim, mode=executor,
     )
     ctx.synchronize()
     energies = etot_buf.copy_to_host()

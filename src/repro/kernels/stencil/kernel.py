@@ -3,18 +3,21 @@
 The per-thread body is a direct transliteration of the Mojo kernel in the
 paper: thread ``(x, y, z)`` maps to cell ``(k, j, i)`` and interior cells
 combine the seven-point neighbourhood with precomputed inverse spacings.
+The body is vector-safe: the interior guard is the canonical
+``any_lane``/``compress_lanes`` pattern, so the lockstep executor evaluates
+the whole grid as gathers and one scatter.
 """
 
 from __future__ import annotations
 
 from ...core.dtypes import DType, dtype_from_any
-from ...core.intrinsics import block_dim, block_idx, thread_idx
+from ...core.intrinsics import any_lane, block_dim, block_idx, compress_lanes, thread_idx
 from ...core.kernel import KernelModel, MemoryPattern, kernel
 
 __all__ = ["laplacian_kernel", "stencil_kernel_model"]
 
 
-@kernel(name="laplacian_kernel")
+@kernel(name="laplacian_kernel", vector_safe=True)
 def laplacian_kernel(f, u, nx, ny, nz, invhx2, invhy2, invhz2, invhxyz2):
     """Seven-point stencil: ``f = Laplacian(u)`` on interior cells.
 
@@ -25,13 +28,17 @@ def laplacian_kernel(f, u, nx, ny, nz, invhx2, invhy2, invhz2, invhxyz2):
     j = thread_idx.y + block_idx.y * block_dim.y
     i = thread_idx.z + block_idx.z * block_dim.z
 
-    if 0 < i < nx - 1 and 0 < j < ny - 1 and 0 < k < nz - 1:
-        f[i, j, k] = (
-            u[i, j, k] * invhxyz2
-            + (u[i - 1, j, k] + u[i + 1, j, k]) * invhx2
-            + (u[i, j - 1, k] + u[i, j + 1, k]) * invhy2
-            + (u[i, j, k - 1] + u[i, j, k + 1]) * invhz2
-        )
+    interior = (i > 0) & (i < nx - 1) & (j > 0) & (j < ny - 1) \
+        & (k > 0) & (k < nz - 1)
+    if not any_lane(interior):
+        return
+    i, j, k = compress_lanes(interior, i, j, k)
+    f[i, j, k] = (
+        u[i, j, k] * invhxyz2
+        + (u[i - 1, j, k] + u[i + 1, j, k]) * invhx2
+        + (u[i, j - 1, k] + u[i, j + 1, k]) * invhy2
+        + (u[i, j, k - 1] + u[i, j, k + 1]) * invhz2
+    )
 
 
 def stencil_kernel_model(*, L: int, precision: str = "float64",

@@ -64,10 +64,13 @@ def stencil_launch_config(L: int, block_shape: Tuple[int, int, int]) -> LaunchCo
 
 def verify_stencil_kernel(L: int = 18, precision: str = "float64",
                           gpu: str = "h100",
-                          block_shape: Tuple[int, int, int] = (8, 4, 4)) -> float:
+                          block_shape: Tuple[int, int, int] = (8, 4, 4),
+                          executor: str = "auto") -> float:
     """Run the device kernel functionally on a small grid and verify it.
 
     Returns the maximum relative error against the NumPy reference.
+    ``executor`` selects the simulator mode (``"auto"`` is lockstep
+    vectorized for this vector-safe kernel).
     """
     problem = StencilProblem(L, precision)
     invhx2, invhy2, invhz2, invhxyz2 = problem.inverse_spacing_squared
@@ -84,7 +87,7 @@ def verify_stencil_kernel(L: int = 18, precision: str = "float64",
     launch = stencil_launch_config(L, block_shape)
     ctx.enqueue_function(
         laplacian_kernel, f, u, L, L, L, invhx2, invhy2, invhz2, invhxyz2,
-        grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+        grid_dim=launch.grid_dim, block_dim=launch.block_dim, mode=executor,
     )
     ctx.synchronize()
 

@@ -17,11 +17,18 @@ the figure experiments drive all kernels uniformly.
 
 from .base import (
     DEFAULT_PROTOCOL,
+    EXECUTOR_MODES,
     ParamSpec,
     RunRequest,
     Verification,
     Workload,
     WorkloadResult,
+)
+from .cache import (
+    ResultCache,
+    clear_result_cache,
+    result_cache_info,
+    run_cached,
 )
 from .registry import (
     get_workload,
@@ -36,12 +43,13 @@ from .stencil import StencilWorkload
 
 __all__ = [
     "ParamSpec", "RunRequest", "Verification", "Workload", "WorkloadResult",
-    "DEFAULT_PROTOCOL",
+    "DEFAULT_PROTOCOL", "EXECUTOR_MODES",
     "register_workload", "unregister_workload", "get_workload",
     "list_workloads",
     "StencilWorkload", "BabelStreamWorkload", "MiniBudeWorkload",
     "HartreeFockWorkload",
     "run_workload",
+    "ResultCache", "run_cached", "result_cache_info", "clear_result_cache",
 ]
 
 register_workload(StencilWorkload(), "laplacian")

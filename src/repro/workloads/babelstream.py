@@ -55,7 +55,7 @@ class BabelStreamWorkload(Workload):
             num_times=request.protocol.repeats + request.protocol.warmup,
             warmup=request.protocol.warmup,
             jitter=p["jitter"], seed=p["seed"],
-            fast_math=request.fast_math,
+            fast_math=request.fast_math, executor=request.executor,
         )
         result = bench.run(verify=request.verify)
 

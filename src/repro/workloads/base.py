@@ -33,10 +33,16 @@ __all__ = [
     "WorkloadResult",
     "Workload",
     "DEFAULT_PROTOCOL",
+    "EXECUTOR_MODES",
 ]
 
 #: measurement protocol used when a request does not specify one
 DEFAULT_PROTOCOL = MeasurementProtocol(warmup=1, repeats=5)
+
+#: functional-simulator execution modes a request may select; ``"auto"``
+#: (the default) picks the lockstep vectorized engine for vector-safe
+#: kernels and preserves the scalar behaviour for everything else
+EXECUTOR_MODES = ("auto", "vectorized", "sequential", "cooperative")
 
 
 @dataclass(frozen=True)
@@ -146,12 +152,21 @@ class RunRequest:
     protocol: MeasurementProtocol = DEFAULT_PROTOCOL
     fast_math: bool = False
     verify: bool = True
+    #: functional-simulator mode for verification launches (see
+    #: :data:`EXECUTOR_MODES`); ``"auto"`` keeps today's behaviour for
+    #: kernels that are not vector-safe and lockstep for the ones that are
+    executor: str = "auto"
 
     def __post_init__(self):
         # Freeze the parameter mapping (the dataclass itself is frozen, but a
         # caller-supplied dict would still be mutable through the alias).
         object.__setattr__(self, "params",
                            MappingProxyType(dict(self.params)))
+        if self.executor not in EXECUTOR_MODES:
+            raise ConfigurationError(
+                f"unknown executor mode {self.executor!r}; expected one of "
+                f"{EXECUTOR_MODES}"
+            )
 
     def __hash__(self):
         # explicit hash: the generated one would choke on the params
@@ -159,7 +174,7 @@ class RunRequest:
         # mappings produce equal sorted item tuples.
         return hash((self.workload, self.gpu, self.backend, self.precision,
                      tuple(sorted(self.params.items())), self.protocol,
-                     self.fast_math, self.verify))
+                     self.fast_math, self.verify, self.executor))
 
     def replace(self, **changes) -> "RunRequest":
         """A copy of this request with the given fields replaced."""
@@ -185,6 +200,7 @@ class RunRequest:
                          "repeats": self.protocol.repeats},
             "fast_math": self.fast_math,
             "verify": self.verify,
+            "executor": self.executor,
         }
 
 

@@ -1,0 +1,278 @@
+"""Request-level result cache for the unified Workload API.
+
+Every workload run is a pure function of its frozen, hashable
+:class:`~repro.workloads.base.RunRequest` (the jitter samples are seeded, the
+timing model is deterministic), so repeated sweep points and repeated
+``bench`` invocations can be answered from a keyed memo instead of re-running
+verification and the analytic pipeline.
+
+Two layers, mirroring the memoised compile pipeline
+(:func:`repro.core.compiler.compile_cache_info`):
+
+* an **in-memory LRU** keyed directly by the ``RunRequest`` — exact object
+  round-trip, used by :meth:`repro.harness.sweep.Sweep.run_workload` and any
+  in-process repetition;
+* an optional **on-disk JSON store** (default location ``.repro_cache/``)
+  keyed by a digest of the request's canonical JSON — survives process
+  boundaries, which makes repeated CLI ``bench`` invocations near-free.
+  Disk hits are rehydrated into a :class:`WorkloadResult` whose ``timing``
+  entries are the plain exported dicts and whose ``raw`` legacy payload is
+  ``None`` (both are documented as export-shaped for cached results).
+
+``result_cache_info()`` / ``clear_result_cache()`` expose the default
+cache's statistics, mirroring ``compile_cache_info`` / ``clear_compile_cache``.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from .base import RunRequest, Verification, WorkloadResult
+
+__all__ = ["ResultCache", "run_cached", "result_cache_info",
+           "clear_result_cache", "configure_result_cache",
+           "DEFAULT_CACHE_DIR"]
+
+#: default on-disk store location (created lazily, only when disk caching
+#: is enabled)
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: schema tag stored with every disk entry; bump to invalidate old stores
+_DISK_SCHEMA = "repro.result-cache/v1"
+
+
+class ResultCache:
+    """Keyed memo of :class:`WorkloadResult` by :class:`RunRequest`.
+
+    Thread-safe; the in-memory layer is an LRU bounded by *maxsize*.  Pass a
+    *disk_dir* to add the JSON store layer (entries are written through on
+    :meth:`put` and consulted on in-memory misses).
+    """
+
+    def __init__(self, maxsize: int = 256,
+                 disk_dir: Optional[str] = None):
+        self.maxsize = int(maxsize)
+        self.disk_dir = disk_dir
+        self._entries: "OrderedDict[RunRequest, WorkloadResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._disk_hits = 0
+
+    # ------------------------------------------------------------------ keys
+    @staticmethod
+    def disk_key(request: RunRequest) -> str:
+        """Stable digest of the request's canonical JSON form.
+
+        The package version is folded into the digest so a release boundary
+        invalidates the store.  Within one version the entries assume the
+        workload code is unchanged — when iterating on kernel or model code
+        locally, run with ``--no-cache`` / ``cache=False`` or delete
+        ``.repro_cache/``, otherwise a stale result (including its cached
+        verification verdict) is served.
+        """
+        from .. import __version__
+
+        payload = json.dumps(request.as_dict(), sort_keys=True, default=str)
+        keyed = f"{__version__}|{payload}"
+        return hashlib.sha256(keyed.encode("utf-8")).hexdigest()[:24]
+
+    def _disk_path(self, request: RunRequest) -> str:
+        return os.path.join(self.disk_dir, "results",
+                            f"{request.workload}-{self.disk_key(request)}.json")
+
+    # ------------------------------------------------------------- get / put
+    def get(self, request: RunRequest) -> Optional[WorkloadResult]:
+        """Cached result for *request*, or None.  Counts a hit or a miss."""
+        with self._lock:
+            result = self._entries.get(request)
+            if result is not None:
+                self._entries.move_to_end(request)
+                self._hits += 1
+                return _clone(result)
+        if self.disk_dir is not None:
+            result = self._disk_get(request)
+            if result is not None:
+                with self._lock:
+                    self._hits += 1
+                    self._disk_hits += 1
+                    self._remember(request, result)
+                return _clone(result)
+        with self._lock:
+            self._misses += 1
+        return None
+
+    def put(self, request: RunRequest, result: WorkloadResult) -> None:
+        """Store *result* under *request* (write-through to disk if enabled).
+
+        A caller-isolated clone is stored, so mutating the result object
+        after ``put`` cannot poison the cache.
+        """
+        stored = _clone(result)
+        with self._lock:
+            self._remember(request, stored)
+        if self.disk_dir is not None:
+            self._disk_put(request, stored)
+
+    def _remember(self, request: RunRequest, result: WorkloadResult) -> None:
+        self._entries[request] = result
+        self._entries.move_to_end(request)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    # ----------------------------------------------------------------- disk
+    def _disk_get(self, request: RunRequest) -> Optional[WorkloadResult]:
+        path = self._disk_path(request)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("schema") != _DISK_SCHEMA:
+            return None
+        return _result_from_export(request, payload["result"])
+
+    def _disk_put(self, request: RunRequest, result: WorkloadResult) -> None:
+        path = self._disk_path(request)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump({"schema": _DISK_SCHEMA,
+                           "result": result.as_dict()}, fh, default=str)
+        except OSError:  # pragma: no cover - read-only / full filesystem
+            pass
+
+    # ------------------------------------------------------------ statistics
+    def info(self) -> Dict[str, int]:
+        """Hit/miss/size statistics, shaped like ``compile_cache_info()``."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "disk_hits": self._disk_hits,
+                "disk_enabled": self.disk_dir is not None,
+            }
+
+    def clear(self) -> None:
+        """Drop the in-memory entries and reset the counters.
+
+        Disk entries are left in place (delete ``.repro_cache/`` to drop
+        them); a cleared cache simply re-reads them as disk hits.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._disk_hits = 0
+
+
+def _clone(result: WorkloadResult) -> WorkloadResult:
+    """Caller-isolated view of a cached result.
+
+    Top-level containers (metrics, timing, samples, provenance) are fresh
+    dicts/lists so caller-side mutation cannot poison the cache; the request,
+    verification, timing breakdown objects and legacy ``raw`` payload are
+    shared (frozen or treated as read-only).
+    """
+    out = copy.copy(result)
+    out.metrics = dict(result.metrics)
+    out.timing = dict(result.timing)
+    out.samples = {k: list(v) for k, v in result.samples.items()}
+    out.provenance = dict(result.provenance)
+    return out
+
+
+def _result_from_export(request: RunRequest, payload: Dict) -> WorkloadResult:
+    """Rehydrate a :class:`WorkloadResult` from its ``as_dict()`` export.
+
+    ``timing`` values stay as the exported dicts and ``raw`` is ``None`` —
+    the export schema is the contract for cached results.
+    """
+    v = payload.get("verification", {})
+    return WorkloadResult(
+        request=request,
+        metrics=dict(payload.get("metrics", {})),
+        primary_metric=payload.get("primary_metric", ""),
+        verification=Verification(
+            ran=bool(v.get("ran", False)),
+            passed=bool(v.get("passed", False)),
+            max_rel_error=v.get("max_rel_error"),
+            detail=v.get("detail", ""),
+        ),
+        timing=dict(payload.get("timing", {})),
+        samples={k: list(s) for k, s in payload.get("samples", {}).items()},
+        provenance=dict(payload.get("provenance", {})),
+        raw=None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Module-level default cache (mirrors the compile-cache module API)
+# ---------------------------------------------------------------------------
+
+_default_cache = ResultCache()
+_default_lock = threading.Lock()
+
+
+def configure_result_cache(*, maxsize: Optional[int] = None,
+                           disk_dir: Optional[str] = None,
+                           disk: Optional[bool] = None) -> ResultCache:
+    """Replace the default cache's configuration.
+
+    ``disk=True`` enables the on-disk store at *disk_dir* (default
+    ``.repro_cache/``); ``disk=False`` disables it.  Returns the (new)
+    default cache; existing entries and counters are dropped.
+    """
+    global _default_cache
+    with _default_lock:
+        current = _default_cache
+        new_maxsize = maxsize if maxsize is not None else current.maxsize
+        if disk is None:
+            new_dir = disk_dir if disk_dir is not None else current.disk_dir
+        elif disk:
+            new_dir = disk_dir or current.disk_dir or DEFAULT_CACHE_DIR
+        else:
+            new_dir = None
+        _default_cache = ResultCache(maxsize=new_maxsize, disk_dir=new_dir)
+        return _default_cache
+
+
+def run_cached(request: RunRequest, *,
+               cache: Optional[ResultCache] = None,
+               workload=None) -> WorkloadResult:
+    """Run *request* through its workload, memoised by request.
+
+    Uses the module default cache unless an explicit :class:`ResultCache`
+    is given.  *workload* may supply an already-resolved
+    :class:`~repro.workloads.base.Workload` instance (required when it is
+    not in the registry — e.g. an ad-hoc subclass driven through a sweep);
+    otherwise the request's workload name is resolved through the registry.
+    """
+    from .registry import get_workload
+
+    target = cache if cache is not None else _default_cache
+    result = target.get(request)
+    if result is not None:
+        return result
+    wl = workload if workload is not None else get_workload(request.workload)
+    result = wl.run(request)
+    target.put(request, result)
+    return result
+
+
+def result_cache_info() -> Dict[str, int]:
+    """Statistics of the default request-result memo."""
+    return _default_cache.info()
+
+
+def clear_result_cache() -> None:
+    """Drop all memoised results (and reset the hit/miss counters)."""
+    _default_cache.clear()

@@ -41,6 +41,7 @@ def bench_hartreefock(
     verify: bool = True,
     verify_natoms: int = 4,
     fast_math: bool = False,
+    executor: str = "auto",
 ) -> HartreeFockResult:
     """Benchmark one Hartree–Fock configuration (Table 4).
 
@@ -56,7 +57,7 @@ def bench_hartreefock(
     max_rel_error = float("nan")
     if verify:
         _, max_rel_error = run_hartreefock_functional(
-            verify_natoms, ngauss, gpu=gpu)
+            verify_natoms, ngauss, gpu=gpu, executor=executor)
         verified = True
 
     system = make_helium_system(natoms, ngauss, spacing=spacing)
@@ -127,6 +128,7 @@ class HartreeFockWorkload(Workload):
             gpu=request.gpu, block_size=p["block_size"], spacing=p["spacing"],
             schwarz_tol=p["schwarz_tol"], verify=request.verify,
             verify_natoms=p["verify_natoms"], fast_math=request.fast_math,
+            executor=request.executor,
         )
         return WorkloadResult(
             request=request,

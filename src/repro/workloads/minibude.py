@@ -37,6 +37,7 @@ def bench_minibude(
     verify: bool = True,
     verify_poses: int = 64,
     seed: int = 2025,
+    executor: str = "auto",
 ) -> MiniBudeResult:
     """Benchmark one miniBUDE configuration (bm1 by default).
 
@@ -56,7 +57,8 @@ def bench_minibude(
                           ntypes=full_deck.ntypes,
                           nposes=verify_poses, seed=seed, name="verify")
         _, max_rel_error = run_fasten_functional(
-            small, ppwi=min(ppwi, 2), wgsize=min(wgsize, 8), gpu=gpu)
+            small, ppwi=min(ppwi, 2), wgsize=min(wgsize, 8), gpu=gpu,
+            executor=executor)
         verified = True
 
     model = fasten_kernel_model(ppwi=ppwi, natlig=full_deck.natlig,
@@ -128,6 +130,7 @@ class MiniBudeWorkload(Workload):
             backend=request.backend, gpu=request.gpu,
             fast_math=request.fast_math, verify=request.verify,
             verify_poses=p["verify_poses"], seed=p["seed"],
+            executor=request.executor,
         )
         return WorkloadResult(
             request=request,

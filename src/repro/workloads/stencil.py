@@ -41,6 +41,7 @@ def bench_stencil(
     seed: int = 2025,
     verify: bool = True,
     fast_math: bool = False,
+    executor: str = "auto",
 ) -> StencilResult:
     """Benchmark one stencil configuration.
 
@@ -58,7 +59,8 @@ def bench_stencil(
     if verify:
         verify_l = min(L, FUNCTIONAL_VERIFY_MAX_L)
         max_rel_error = verify_stencil_kernel(verify_l, precision, gpu,
-                                              block_shape=(8, 4, 4))
+                                              block_shape=(8, 4, 4),
+                                              executor=executor)
         verified = True
 
     model = stencil_kernel_model(L=L, precision=precision)
@@ -124,7 +126,7 @@ class StencilWorkload(Workload):
             gpu=request.gpu, block_shape=p["block_shape"],
             iterations=proto.repeats + proto.warmup, warmup=proto.warmup,
             jitter=p["jitter"], seed=p["seed"], verify=request.verify,
-            fast_math=request.fast_math,
+            fast_math=request.fast_math, executor=request.executor,
         )
         return WorkloadResult(
             request=request,

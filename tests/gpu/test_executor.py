@@ -178,6 +178,23 @@ class TestCooperativePool:
             KernelExecutor().launch(bad_in_block_two, (np.zeros(2),),
                                     LaunchConfig.make(4, 4), mode="cooperative")
 
+    def test_shared_alloc_is_race_free_at_wide_blocks(self, rng):
+        """Regression: the check-then-insert shared allocation let two of a
+        wide block's workers allocate distinct arrays, silently dropping one
+        thread's partial sums (nondeterministic dot results at tb >= 128)."""
+        from repro.kernels.babelstream.kernels import dot_kernel
+
+        n, tb, blocks = 4096, 128, 4
+        a = rng.normal(size=n)
+        b = rng.normal(size=n)
+        expected = a @ b
+        for _ in range(5):
+            sums = np.zeros(blocks)
+            KernelExecutor().launch(dot_kernel, (a, b, sums, n, tb),
+                                    LaunchConfig.make(blocks, tb),
+                                    mode="cooperative")
+            np.testing.assert_allclose(sums.sum(), expected, rtol=1e-12)
+
     def test_counters_merge_batches_events(self):
         counters = ExecutionCounters()
         counters.merge(threads_run=7, blocks_run=2, barriers=3, atomics=11)

@@ -270,3 +270,123 @@ class TestBenchCompare:
                      "--threshold", "0.5"])
         assert code == 2
         assert "threshold" in capsys.readouterr().err
+
+    def test_parser_accepts_quick(self):
+        args = build_parser().parse_args(["bench-compare", "--quick"])
+        assert args.quick is True
+
+    def test_quick_update_combination_refused(self, tmp_path, capsys):
+        """--quick --update would rewrite the baseline with only the fast
+        subset, silently dropping the reference-benchmark entries."""
+        code = main(["bench-compare", "--quick", "--update",
+                     "--baseline", str(tmp_path / "b.json")])
+        assert code == 2
+        assert "--quick" in capsys.readouterr().err
+
+    def test_quick_subset_expression_matches_fast_benchmarks(self):
+        # The -k expression must select the executor/dispatch benches and
+        # exclude the multi-second reference benches.
+        from repro.cli import QUICK_BENCH_EXPR
+
+        selected = [
+            "test_bench_functional_executor_stencil",
+            "test_bench_vectorized_executor_stencil",
+            "test_bench_vectorized_babelstream_dot",
+            "test_bench_workload_dispatch",
+        ]
+        excluded = [
+            "test_bench_minibude_reference_energies",
+            "test_bench_hartreefock_fock_quadruple_16",
+            "test_bench_stencil_reference_l128",
+        ]
+        import re
+        terms = [t for t in re.split(r"\s+or\s+", QUICK_BENCH_EXPR) if t]
+        for name in selected:
+            assert any(term in name for term in terms), name
+        for name in excluded:
+            assert not any(term in name for term in terms), name
+
+    def test_report_includes_cache_counters(self, tmp_path, capsys):
+        base = self._stats_file(tmp_path / "base.json", bench_a=1.0)
+        cur = self._stats_file(tmp_path / "cur.json", bench_a=1.0)
+        assert main(["bench-compare", "--baseline", base, "--current", cur]) == 0
+        out = capsys.readouterr().out
+        # With --current no subprocess runs; this process's counters print.
+        assert "compile cache (this process):" in out
+        assert "result cache (this process):" in out
+
+    def test_cache_counters_read_from_benchmark_subprocess_export(
+            self, tmp_path, capsys, monkeypatch):
+        """The counters must come from the process that ran the benchmarks
+        (the pytest subprocess), not from the CLI parent where they are
+        always zero."""
+        from repro import cli as cli_mod
+
+        base = self._stats_file(tmp_path / "base.json", bench_a=1.0)
+        exported = {"compile": {"hits": 7, "misses": 3, "size": 3,
+                                "maxsize": 512},
+                    "result": {"hits": 2, "misses": 1, "size": 1,
+                               "maxsize": 256}}
+
+        def fake_run(bench_file, *, quick=False, cache_stats_path=None):
+            assert cache_stats_path is not None
+            with open(cache_stats_path, "w", encoding="utf-8") as fh:
+                json.dump(exported, fh)
+            out = tmp_path / "current.json"
+            out.write_text(json.dumps({"bench_a": {"min": 1.0, "mean": 1.1}}))
+            return str(out)
+
+        monkeypatch.setattr(cli_mod, "_run_host_benchmarks", fake_run)
+        assert main(["bench-compare", "--baseline", base]) == 0
+        out = capsys.readouterr().out
+        assert "compile cache (benchmark run): 7 hit(s), 3 miss(es)" in out
+        assert "result cache (benchmark run):  2 hit(s), 1 miss(es)" in out
+
+
+class TestBenchExecutorAndCache:
+    def test_parser_accepts_executor_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "stencil", "--executor", "sequential", "--no-cache",
+             "--cache-dir", "/tmp/x"])
+        assert args.executor == "sequential"
+        assert args.no_cache and args.cache_dir == "/tmp/x"
+
+    def test_invalid_executor_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "stencil", "--executor", "warp"])
+
+    def test_executor_recorded_in_request_payload(self, capsys, tmp_path):
+        code = main(["bench", "stencil", "--param", "L=32", "--repeats", "2",
+                     "--executor", "sequential", "--json",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["request"]["executor"] == "sequential"
+        assert payload["verification"]["passed"] is True
+
+    def test_repeated_bench_hits_disk_cache(self, capsys, tmp_path):
+        argv = ["bench", "stencil", "--param", "L=32", "--repeats", "2",
+                "--no-verify", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "result cache: miss (stored)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "result cache: hit (disk)" in second
+
+    def test_no_cache_bypasses_store(self, capsys, tmp_path):
+        argv = ["bench", "stencil", "--param", "L=32", "--repeats", "2",
+                "--no-verify", "--no-cache", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "result cache: disabled (--no-cache)" in capsys.readouterr().out
+        assert not (tmp_path / "results").exists()
+
+    def test_cached_and_fresh_results_agree(self, capsys, tmp_path):
+        argv = ["bench", "babelstream", "--param", "n=4096", "--repeats", "2",
+                "--no-verify", "--json", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        fresh = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        cached = json.loads(capsys.readouterr().out)
+        assert cached["metrics"] == fresh["metrics"]
+        assert sorted(cached) == sorted(fresh)
