@@ -142,6 +142,87 @@ def test_bench_vectorized_executor_stencil(benchmark):
     assert np.any(result != 0.0)
 
 
+def _stencil_sweep_point(L=6):
+    """Inputs for one stencil sweep point driven through DeviceContext."""
+    from repro.kernels.stencil.kernel import stencil_kernel_model
+
+    problem = StencilProblem(L, "float64")
+    u_host = problem.initial_field().reshape(-1)
+    args = problem.inverse_spacing_squared
+    launch = stencil_launch_config(L, (L, L, L))
+    model = stencil_kernel_model(L=L, precision="float64")
+    return problem, u_host, args, launch, model
+
+
+def test_bench_graph_reenqueue_stencil_point(benchmark):
+    """One stencil sweep point rebuilt from scratch every repeat.
+
+    This is the pre-graph launch path: a fresh DeviceContext, buffer
+    allocation, tensor wrapping, H2D, a kernel enqueue (with its per-launch
+    modelled-time prediction) and D2H per iteration.  Paired with
+    ``test_bench_graph_replay_stencil_point``: the committed baselines must
+    show replay at least 2x faster (guarded in test_benchcheck.py).
+    """
+    from repro.core.device import DeviceContext
+    from repro.core.layout import Layout
+    from repro.kernels.stencil.kernel import laplacian_kernel as kern
+
+    L = 6
+    problem, u_host, sargs, launch, model = _stencil_sweep_point(L)
+    layout = Layout.row_major(L, L, L)
+
+    def run():
+        ctx = DeviceContext("h100")
+        u_buf = ctx.enqueue_create_buffer(problem.dtype, L ** 3, label="u")
+        f_buf = ctx.enqueue_create_buffer(problem.dtype, L ** 3, label="f")
+        u_buf.copy_from_host(u_host)
+        u = u_buf.tensor(layout, mut=False, bounds_check=False)
+        f = f_buf.tensor(layout, bounds_check=False)
+        ctx.enqueue_function(kern, f, u, L, L, L, *sargs,
+                             grid_dim=launch.grid_dim,
+                             block_dim=launch.block_dim,
+                             mode="vectorized", model=model)
+        ctx.synchronize()
+        return f_buf.copy_to_host()
+
+    result = benchmark(run)
+    assert np.any(result != 0.0)
+
+
+def test_bench_graph_replay_stencil_point(benchmark):
+    """The same sweep point as a captured DeviceGraph, replayed per repeat.
+
+    Capture happens once in setup; each iteration only rebinds the input
+    and re-executes the recorded H2D -> kernel -> D2H sequence, which is the
+    launch-overhead amortisation the graph API exists for.
+    """
+    from repro.core.device import DeviceContext
+    from repro.core.layout import Layout
+    from repro.kernels.stencil.kernel import laplacian_kernel as kern
+
+    L = 6
+    problem, u_host, sargs, launch, model = _stencil_sweep_point(L)
+    layout = Layout.row_major(L, L, L)
+    ctx = DeviceContext("h100")
+    u_buf = ctx.enqueue_create_buffer(problem.dtype, L ** 3, label="u")
+    f_buf = ctx.enqueue_create_buffer(problem.dtype, L ** 3, label="f")
+    u = u_buf.tensor(layout, mut=False, bounds_check=False)
+    f = f_buf.tensor(layout, bounds_check=False)
+    with ctx.capture("stencil-point") as graph:
+        u_buf.copy_from_host(u_host)
+        ctx.enqueue_function(kern, f, u, L, L, L, *sargs,
+                             grid_dim=launch.grid_dim,
+                             block_dim=launch.block_dim,
+                             mode="vectorized", model=model)
+        f_buf.copy_to_host()
+
+    def run():
+        return graph.replay(u=u_host)["f"]
+
+    result = benchmark(run)
+    assert np.any(result != 0.0)
+
+
 def test_bench_vectorized_babelstream_dot(benchmark):
     """Lockstep per-block execution of the barrier/shared-memory Dot kernel."""
     from repro.core.layout import Layout, LayoutTensor

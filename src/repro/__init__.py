@@ -11,13 +11,16 @@ from . import backends, core, gpu
 from .core import (
     Atomic,
     DeviceContext,
+    DeviceGraph,
     Dim3,
     DType,
+    Event,
     Kernel,
     KernelModel,
     LaunchConfig,
     Layout,
     LayoutTensor,
+    Stream,
     barrier,
     block_dim,
     block_idx,
@@ -29,7 +32,7 @@ from .core import (
 from .backends import get_backend, list_backends, vendor_baseline_for
 from .gpu import GPUSpec, Roofline, get_gpu, list_gpus
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import workloads
 from .workloads import (
@@ -44,8 +47,9 @@ from .workloads import (
 
 __all__ = [
     "backends", "core", "gpu", "workloads",
-    "Atomic", "DeviceContext", "Dim3", "DType", "Kernel", "KernelModel",
-    "LaunchConfig", "Layout", "LayoutTensor", "barrier", "block_dim",
+    "Atomic", "DeviceContext", "DeviceGraph", "Dim3", "DType", "Event",
+    "Kernel", "KernelModel",
+    "LaunchConfig", "Layout", "LayoutTensor", "Stream", "barrier", "block_dim",
     "block_idx", "ceildiv", "grid_dim", "kernel", "thread_idx",
     "get_backend", "list_backends", "vendor_baseline_for",
     "GPUSpec", "Roofline", "get_gpu", "list_gpus",

@@ -104,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="functional-simulator mode for verification "
                           "launches (default auto: lockstep vectorized for "
                           "vector-safe kernels)")
+    b_p.add_argument("--streams", type=int, default=1, metavar="N",
+                     help="device streams for the verification pipeline "
+                          "(default 1; N>1 gives transfers/compute their own "
+                          "modelled timeline lanes so independent transfers "
+                          "overlap — numerics are identical)")
     b_p.add_argument("--no-cache", action="store_true",
                      help="bypass the request-level result cache (use when "
                           "iterating on workload code: cached results — "
@@ -266,7 +271,7 @@ def _cmd_bench(args) -> int:
         protocol=MeasurementProtocol(warmup=args.warmup,
                                      repeats=args.repeats),
         fast_math=args.fast_math, verify=not args.no_verify,
-        executor=args.executor,
+        executor=args.executor, streams=args.streams,
     )
     cache_note = "disabled (--no-cache)"
     if args.no_cache:
@@ -356,10 +361,10 @@ def _cmd_report(ids: List[str], *, write: Optional[str], full: bool) -> int:
 
 
 #: pytest ``-k`` expression selecting the fast benchmark subset for
-#: ``bench-compare --quick`` (the executor/dispatch microbenchmarks — the
-#: paths substrate changes regress first — while the multi-second reference
-#: benches stay out of the tier-1 flow)
-QUICK_BENCH_EXPR = "executor or dispatch or vectorized"
+#: ``bench-compare --quick`` (the executor/dispatch/graph-launch
+#: microbenchmarks — the paths substrate changes regress first — while the
+#: multi-second reference benches stay out of the tier-1 flow)
+QUICK_BENCH_EXPR = "executor or dispatch or vectorized or graph"
 
 
 def _run_host_benchmarks(bench_file: str, *, quick: bool = False,

@@ -16,7 +16,15 @@ from .compiler import (
     compile_kernel,
     default_pass_pipeline,
 )
-from .device import DeviceBuffer, DeviceContext, StreamEvent
+from .device import (
+    DeviceBuffer,
+    DeviceContext,
+    DeviceGraph,
+    Event,
+    PipelineTiming,
+    Stream,
+    StreamEvent,
+)
 from .dtypes import DType, dtype_from_any
 from .errors import (
     CompilationError,
@@ -50,7 +58,8 @@ __all__ = [
     "Atomic", "atomic_add", "atomic_max", "atomic_min",
     "CompiledKernel", "CompilerProfile", "Opcode", "build_ir", "compile_kernel",
     "default_pass_pipeline",
-    "DeviceBuffer", "DeviceContext", "StreamEvent",
+    "DeviceBuffer", "DeviceContext", "DeviceGraph", "Event",
+    "PipelineTiming", "Stream", "StreamEvent",
     "DType", "dtype_from_any",
     "ReproError", "ConfigurationError", "CompilationError", "LaunchError",
     "DeviceError", "OutOfMemoryError", "UnsupportedBackendError", "LayoutError",

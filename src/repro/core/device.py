@@ -1,6 +1,8 @@
-"""``DeviceContext`` and ``DeviceBuffer``: the Mojo-style device runtime API.
+"""``DeviceContext``, ``Stream``, ``Event`` and ``DeviceGraph``: the
+Mojo-style asynchronous device runtime API.
 
-This is the user-facing entry point that the paper's Listing 1 demonstrates:
+This is the user-facing entry point that the paper's Listing 1 demonstrates,
+extended with the stream/event/graph machinery a real device queue offers:
 
 .. code-block:: python
 
@@ -10,19 +12,52 @@ This is the user-facing entry point that the paper's Listing 1 demonstrates:
     ctx.enqueue_function(fill_one, u, grid_dim=num_blocks, block_dim=block_size)
     ctx.synchronize()
 
-Operations are *enqueued* on a stream and executed lazily at
-:meth:`DeviceContext.synchronize` (or eagerly with ``eager=True``, the default
-for convenience in tests and examples).  The context tracks device memory
-against the GPU's capacity, executes kernels functionally on the simulated
-device, and accumulates a modelled timeline when a kernel provides a
-:class:`~repro.core.kernel.KernelModel`.
+Every ``enqueue_*`` operation lands on a :class:`Stream` (the context's
+default stream unless ``stream=`` names another one).  Streams are FIFO;
+cross-stream ordering is expressed with :class:`Event`::
+
+    h2d, compute = ctx.stream("h2d"), ctx.stream("compute")
+    d_u.copy_from_host(host, stream=h2d)
+    uploaded = ctx.event("uploaded").record(h2d)
+    compute.wait(uploaded)
+    ctx.enqueue_function(kern, u, ..., stream=compute)
+
+In ``eager=True`` contexts (the default, convenient for tests and examples)
+operations execute at enqueue; with ``eager=False`` they are queued — in
+every case *ordered with the kernels of their stream* — and run at
+:meth:`DeviceContext.synchronize`, which executes the resulting dependency
+DAG in enqueue order (a valid topological order, since an event can only be
+waited on after it was recorded).
+
+Timing is overlap-aware: each executed operation occupies a lane of its
+stream on the modelled timeline (``start_ms``/``end_ms`` per
+:class:`StreamEvent`), so :attr:`DeviceContext.elapsed_ms` reports the
+critical-path makespan of the whole pipeline — H2D copies, kernels, memsets
+and D2H copies on different streams overlap — while
+:attr:`DeviceContext.serial_time_ms` keeps the serial sum.
+:meth:`DeviceContext.pipeline_breakdown` summarises both plus the per-stream
+busy time as a :class:`PipelineTiming`.
+
+Finally, :meth:`DeviceContext.capture` records an enqueue sequence once into
+a replayable :class:`DeviceGraph`::
+
+    with ctx.capture("step") as graph:
+        d_u.copy_from_host(u0)
+        ctx.enqueue_function(kern, ..., grid_dim=g, block_dim=b)
+        d_f.copy_to_host()
+    out = graph.replay(u=u1)["f"]      # re-run with new buffer contents
+
+Replay skips all per-enqueue Python work (argument normalisation, launch
+validation, modelled-time prediction, per-op bookkeeping), which is what
+amortises host-side launch overhead across sweep repeats.
 """
 
 from __future__ import annotations
 
 import itertools
+import weakref
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +70,8 @@ from .intrinsics import Dim3
 from .kernel import Kernel, KernelModel, LaunchConfig
 from .layout import Layout, LayoutTensor
 
-__all__ = ["DeviceBuffer", "DeviceContext", "StreamEvent"]
+__all__ = ["DeviceBuffer", "DeviceContext", "DeviceGraph", "Event",
+           "PipelineTiming", "Stream", "StreamEvent"]
 
 
 class DeviceBuffer:
@@ -64,34 +100,90 @@ class DeviceBuffer:
         return self._freed
 
     # -------------------------------------------------------------- transfers
-    def copy_from_host(self, host_array) -> "DeviceBuffer":
-        """Copy host data into the buffer (modelled H2D transfer)."""
+    def copy_from_host(self, host_array, *,
+                       stream: Optional["Stream"] = None) -> "DeviceBuffer":
+        """Copy host data into the buffer (modelled H2D transfer).
+
+        The host array is validated and snapshotted immediately; the copy
+        itself is enqueued on *stream*, so in an ``eager=False`` context it
+        executes at :meth:`DeviceContext.synchronize`, ordered with the
+        kernels of its stream.
+        """
         self._check_live()
         src = np.asarray(host_array, dtype=self.dtype.to_numpy()).reshape(-1)
         if src.size != self.count:
             raise DeviceError(
                 f"host array has {src.size} elements, buffer holds {self.count}"
             )
-        self.array[...] = src
-        self.ctx._record_transfer("h2d", self.nbytes)
+        if not self.ctx.eager or self.ctx._capture is not None:
+            # Snapshot only when the write is deferred (lazy queue / graph
+            # capture): the caller may mutate their array before it runs.
+            # Eager copies execute immediately, so the extra O(n) host copy
+            # would be pure waste on the default path.
+            src = src.copy()
+
+        def work() -> None:
+            self.array[...] = src
+
+        self.ctx._submit_transfer("h2d", self, work, stream, src=src)
         return self
 
-    def copy_to_host(self, out: Optional[np.ndarray] = None) -> np.ndarray:
-        """Copy the buffer back to the host (modelled D2H transfer)."""
-        self._check_live()
-        self.ctx._record_transfer("d2h", self.nbytes)
-        if out is None:
-            return self.array.copy()
-        flat = np.asarray(out).reshape(-1)
-        if flat.size != self.count:
-            raise DeviceError("output array size mismatch")
-        flat[...] = self.array
-        return out
+    def copy_to_host(self, out: Optional[np.ndarray] = None, *,
+                     stream: Optional["Stream"] = None) -> Optional[np.ndarray]:
+        """Copy the buffer back to the host (modelled D2H transfer).
 
-    def fill(self, value) -> "DeviceBuffer":
-        """Fill the buffer with a scalar value."""
+        Returns the destination array.  In an ``eager=False`` context the
+        copy is *enqueued*: the returned array holds the data only after
+        :meth:`DeviceContext.synchronize` has run the queue.  During graph
+        capture the call only *registers* the download — data is delivered
+        by :meth:`DeviceGraph.replay`'s outputs dict — so it returns
+        ``None`` (and rejects ``out=``, which would silently never be
+        written).
+        """
         self._check_live()
-        self.array[...] = value
+        if out is None:
+            if self.ctx._capture is not None:
+                self.ctx._submit_transfer("d2h", self, _noop, stream)
+                return None
+            np_dtype = self.dtype.to_numpy()
+            if self.ctx.eager:
+                dest = np.empty(self.count, dtype=np_dtype)  # filled below
+            else:
+                # deferred fill: a caller reading before synchronize() sees
+                # a loud sentinel (NaN / zeros), not recycled heap memory
+                sentinel = np.nan if np.issubdtype(np_dtype, np.floating) else 0
+                dest = np.full(self.count, sentinel, dtype=np_dtype)
+            ret: np.ndarray = dest
+        else:
+            if self.ctx._capture is not None:
+                # A captured D2H delivers through the replay outputs dict;
+                # the caller's array would silently never be written.
+                raise DeviceError(
+                    "copy_to_host(out=...) is not supported during graph "
+                    "capture; read the buffer from DeviceGraph.replay()'s "
+                    "outputs instead"
+                )
+            dest = np.asarray(out).reshape(-1)
+            if dest.size != self.count:
+                raise DeviceError("output array size mismatch")
+            if not np.shares_memory(dest, out):
+                # reshape(-1) of e.g. an F-order matrix or a list returns a
+                # copy; writing into it would silently leave `out` untouched
+                raise DeviceError(
+                    "output array must be a C-contiguous ndarray (the copy "
+                    "writes through a flat view of it)"
+                )
+            ret = out
+
+        def work() -> None:
+            dest[...] = self.array
+
+        self.ctx._submit_transfer("d2h", self, work, stream)
+        return ret
+
+    def fill(self, value, *, stream: Optional["Stream"] = None) -> "DeviceBuffer":
+        """Fill the buffer with a scalar value (modelled memset, enqueued)."""
+        self.ctx.enqueue_fill(self, value, stream=stream)
         return self
 
     # ------------------------------------------------------------------ views
@@ -105,7 +197,12 @@ class DeviceBuffer:
 
     # ----------------------------------------------------------------- free
     def free(self) -> None:
-        """Release the allocation (idempotent frees raise DeviceError)."""
+        """Release the allocation (idempotent frees raise DeviceError).
+
+        Work already enqueued against the buffer raises
+        :class:`DeviceError` when it later executes (use-after-free of a
+        pending operation).
+        """
         self._check_live()
         self.ctx._tracker.free(self._allocation)
         self._freed = True
@@ -123,13 +220,465 @@ class DeviceBuffer:
 
 @dataclass
 class StreamEvent:
-    """One entry in the context's executed-operation timeline."""
+    """One entry in the context's executed-operation timeline.
 
-    kind: str                      # "kernel" | "h2d" | "d2h"
+    ``start_ms``/``end_ms`` place the operation on its stream's lane of the
+    modelled timeline; ``modelled_time_ms`` is its duration.
+    """
+
+    kind: str                      # "kernel" | "h2d" | "d2h" | "memset" | "event" | "graph"
     name: str
     modelled_time_ms: float = 0.0
     execution: Optional[ExecutionResult] = None
     details: dict = field(default_factory=dict)
+    stream: str = "default"
+    start_ms: float = 0.0
+    end_ms: float = 0.0
+
+
+class Event:
+    """A stream marker, as in CUDA/HIP: record on one stream, wait on another.
+
+    ``record(stream)`` enqueues the marker; once it has *executed* (at
+    enqueue in eager contexts, at ``synchronize()`` otherwise) its
+    :meth:`elapsed_ms` reports the modelled timeline timestamp at which all
+    preceding work on the recording stream completed.  ``stream.wait(event)``
+    makes subsequently enqueued work on that stream start no earlier than the
+    event's timestamp.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, ctx: "DeviceContext", name: str = ""):
+        self.ctx = ctx
+        self.name = name or f"event{next(self._ids)}"
+        self._stream: Optional["Stream"] = None
+        self._timestamp_ms: Optional[float] = None
+
+    # ------------------------------------------------------------------ state
+    @property
+    def recorded(self) -> bool:
+        """True once :meth:`record` has enqueued the marker."""
+        return self._stream is not None
+
+    @property
+    def complete(self) -> bool:
+        """True once the marker has executed and carries a timestamp."""
+        return self._timestamp_ms is not None
+
+    # ------------------------------------------------------------------- api
+    def record(self, stream: Optional["Stream"] = None) -> "Event":
+        """Enqueue this marker on *stream* (default stream when omitted)."""
+        stream = self.ctx._resolve_stream(stream)
+        self._stream = stream
+        self._timestamp_ms = None
+        self.ctx._recorded_events.add(self)
+        op = _Op("event", self.name, stream, stream._take_waits(), (),
+                 _zero_work, self)
+        self.ctx._submit(op)
+        return self
+
+    def elapsed_ms(self, since: Optional["Event"] = None) -> float:
+        """Modelled timestamp (ms) at which this event completed.
+
+        With *since*, the interval between the two events — the stream-level
+        analogue of ``cudaEventElapsedTime``.  Raises :class:`DeviceError`
+        for an event that has not executed yet (record it, then
+        ``synchronize()`` in lazy contexts).
+        """
+        if self._timestamp_ms is None:
+            state = "recorded but not executed" if self.recorded \
+                else "never recorded"
+            raise DeviceError(
+                f"event {self.name!r} has no timestamp ({state}); "
+                f"synchronize() the context first"
+            )
+        if since is not None:
+            if since.ctx is not self.ctx:
+                # timestamps from different contexts live on unrelated
+                # modelled timelines; their difference is meaningless
+                raise DeviceError(
+                    f"event {since.name!r} does not belong to the same "
+                    f"context as {self.name!r}"
+                )
+            return self._timestamp_ms - since.elapsed_ms()
+        return self._timestamp_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event({self.name}, complete={self.complete})"
+
+
+class Stream:
+    """One FIFO lane of a :class:`DeviceContext`.
+
+    Operations enqueued on the same stream execute (and are timed) in
+    order; operations on different streams are independent unless ordered
+    through :meth:`wait` on an :class:`Event`.
+    """
+
+    def __init__(self, ctx: "DeviceContext", name: str, index: int):
+        self.ctx = ctx
+        self.name = name
+        self.index = index
+        #: modelled completion time (ms) of the last executed op on this lane
+        self._clock_ms = 0.0
+        #: events the *next* enqueued op must wait for (FIFO ordering then
+        #: carries the dependency to everything behind it)
+        self._waits: List[Event] = []
+
+    def wait(self, event: Event) -> "Stream":
+        """Order subsequently enqueued work after *event*."""
+        if not isinstance(event, Event):
+            raise DeviceError(f"stream.wait expects an Event, got {event!r}")
+        if event.ctx is not self.ctx:
+            # a foreign timestamp would leak another context's absolute
+            # timeline into this one's clocks
+            raise DeviceError(
+                f"event {event.name!r} does not belong to this context"
+            )
+        if not event.recorded:
+            raise DeviceError(
+                f"cannot wait on event {event.name!r}: it was never recorded"
+            )
+        self._waits.append(event)
+        return self
+
+    def _take_waits(self) -> Tuple[Event, ...]:
+        if not self._waits:
+            return ()
+        waits, self._waits = tuple(self._waits), []
+        return waits
+
+    def synchronize(self) -> "Stream":
+        """Drain the context queue (global: the DAG is executed whole)."""
+        self.ctx.synchronize()
+        return self
+
+    @property
+    def busy_ms(self) -> float:
+        """Total modelled time of executed operations on this lane."""
+        return sum(e.modelled_time_ms for e in self.ctx.timeline
+                   if e.stream == self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Stream({self.name!r}, clock={self._clock_ms:.3f}ms)"
+
+
+def _zero_work() -> Tuple[float, Optional[ExecutionResult], dict]:
+    return 0.0, None, {}
+
+
+def _noop() -> None:
+    """Placeholder work for ops whose effect exists only at graph replay."""
+
+
+class _Op:
+    """One enqueued device operation: a DAG node awaiting execution."""
+
+    __slots__ = ("kind", "name", "stream", "waits", "buffers", "work",
+                 "event", "meta")
+
+    def __init__(self, kind: str, name: str, stream: Stream,
+                 waits: Tuple[Event, ...], buffers: Tuple[DeviceBuffer, ...],
+                 work: Callable[[], Tuple[float, Optional[ExecutionResult], dict]],
+                 event: Optional[Event] = None,
+                 meta: Optional[dict] = None):
+        self.kind = kind
+        self.name = name
+        self.stream = stream
+        self.waits = waits
+        self.buffers = buffers
+        self.work = work
+        self.event = event
+        self.meta = meta
+
+
+@dataclass
+class PipelineTiming:
+    """Overlap-aware summary of a context's executed timeline.
+
+    ``elapsed_ms`` is the critical-path makespan across all stream lanes;
+    ``serial_ms`` the sum every operation would cost back-to-back on one
+    stream.  Their difference is the modelled time the overlap saved.
+    """
+
+    elapsed_ms: float
+    serial_ms: float
+    lanes: Dict[str, float]
+    operations: int
+
+    @property
+    def overlap_saved_ms(self) -> float:
+        return max(self.serial_ms - self.elapsed_ms, 0.0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "elapsed_ms": self.elapsed_ms,
+            "serial_ms": self.serial_ms,
+            "overlap_saved_ms": self.overlap_saved_ms,
+            "lanes": dict(self.lanes),
+            "operations": self.operations,
+        }
+
+
+class DeviceGraph:
+    """A captured enqueue sequence, replayable with new buffer contents.
+
+    Built by :meth:`DeviceContext.capture`.  :meth:`replay` re-executes the
+    recorded operations — H2D sources may be rebound by buffer label — and
+    returns the D2H outputs keyed by buffer label.  The modelled cost of a
+    replay is the graph's cached critical-path makespan, recorded on the
+    timeline as a single ``"graph"`` event.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, ctx: "DeviceContext", name: str = ""):
+        self.ctx = ctx
+        self.name = name or f"graph{next(self._ids)}"
+        self._ops: List[_Op] = []
+        self._compiled = False
+        self._steps: List[Tuple[str, tuple]] = []
+        self._h2d_specs: Dict[str, Tuple[DeviceBuffer, object]] = {}
+        self._buffers: Tuple[DeviceBuffer, ...] = ()
+        self._streams: Tuple[Stream, ...] = ()
+        self._event_offsets: List[Tuple[Event, float]] = []
+        self._lane_busy_ms: Dict[str, float] = {}
+        self._lane_end_ms: Dict[str, float] = {}
+        self._makespan_ms = 0.0
+        self._kernels = 0
+        self.replays = 0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def num_operations(self) -> int:
+        return len(self._ops)
+
+    @property
+    def num_kernels(self) -> int:
+        return self._kernels
+
+    @property
+    def makespan_ms(self) -> float:
+        """Cached critical-path duration of one replay."""
+        return self._makespan_ms
+
+    @property
+    def input_labels(self) -> Tuple[str, ...]:
+        """Buffer labels whose H2D source may be rebound at replay."""
+        return tuple(self._h2d_specs)
+
+    # -------------------------------------------------------------- capture
+    def _record(self, op: _Op) -> None:
+        self._ops.append(op)
+
+    def _compile(self) -> None:
+        """Lower the captured ops into replay steps and the cached makespan.
+
+        Runs once, when the capture block closes: per-op modelled durations
+        (and the kernel time predictions behind them) are paid here instead
+        of on every replay.
+        """
+        steps: List[Tuple[str, tuple]] = []
+        clocks: Dict[str, float] = {}
+        busy: Dict[str, float] = {}
+        buffers: Dict[int, DeviceBuffer] = {}
+        streams: Dict[str, Stream] = {}
+        ctx = self.ctx
+        for op in self._ops:
+            streams[op.stream.name] = op.stream
+            for buf in op.buffers:
+                buffers[id(buf)] = buf
+            meta = op.meta or {}
+            duration = meta.get("duration_ms", 0.0)
+            if op.kind == "kernel":
+                self._kernels += 1
+                timing = meta.get("timing")
+                model = meta.get("model")
+                if timing is not None:
+                    duration = float(getattr(timing, "kernel_time_ms", timing))
+                elif model is not None:
+                    duration = ctx._predict_time(model, meta["launch"])
+                # Pre-instantiated launch thunk: validation and mode
+                # resolution are paid once here, not on every replay.
+                steps.append(("kernel", ctx._executor.instantiate(
+                    meta["kern"], meta["args"], meta["launch"],
+                    mode=meta["mode"])))
+            elif op.kind == "h2d":
+                buf = op.buffers[0]
+                if buf.label in self._h2d_specs:
+                    # Two uploads under one label — whether into one buffer
+                    # (a mid-graph re-seed) or into two buffers sharing a
+                    # label — would make a replay binding for that label
+                    # silently rebind both copies, changing the captured
+                    # semantics.
+                    raise DeviceError(
+                        f"graph {self.name!r} captured two H2D copies under "
+                        f"the label {buf.label!r}; replay bindings are keyed "
+                        f"by label — upload once, or use distinctly-labelled "
+                        f"buffers"
+                    )
+                self._h2d_specs[buf.label] = (buf, meta["src"])
+                steps.append(("h2d", (buf, buf.label, meta["src"])))
+            elif op.kind == "d2h":
+                buf = op.buffers[0]
+                if any(k == "d2h" and p[0].label == buf.label
+                       for k, p in steps):
+                    # Two downloads of one label — whether of the same buffer
+                    # (an intermediate snapshot) or of two buffers sharing a
+                    # label — would silently collapse to the last copy in the
+                    # label-keyed outputs dict.
+                    raise DeviceError(
+                        f"graph {self.name!r} captured two D2H copies under "
+                        f"the label {buf.label!r}; replay outputs are keyed "
+                        f"by label — copy once, or use distinctly-labelled "
+                        f"buffers"
+                    )
+                steps.append(("d2h", (buf,)))
+            elif op.kind == "memset":
+                steps.append(("memset", (op.buffers[0], meta["value"])))
+            # "event" ops contribute only to the makespan computation below
+            start = clocks.get(op.stream.name, 0.0)
+            for ev in op.waits:
+                # reversed: a wait observes the *latest* record of the event
+                # that precedes it in the capture, as on a real stream
+                marker = next((off for e, off in reversed(self._event_offsets)
+                               if e is ev), None)
+                if marker is None:
+                    # Same rule as CUDA stream capture: a captured wait must
+                    # target an event recorded inside the capture, otherwise
+                    # the declared dependency would silently vanish from the
+                    # replayed DAG and its makespan.
+                    raise DeviceError(
+                        f"graph {self.name!r} waits on event {ev.name!r}, "
+                        f"which was not recorded inside the capture"
+                    )
+                start = max(start, marker)
+            if op.kind == "event":
+                self._event_offsets.append((op.event, start))
+            clocks[op.stream.name] = start + duration
+            busy[op.stream.name] = busy.get(op.stream.name, 0.0) + duration
+        self._steps = steps
+        self._buffers = tuple(buffers.values())
+        self._streams = tuple(streams.values()) or (ctx.default_stream,)
+        # busy = sum of op durations per lane (wait-induced idle excluded);
+        # end = the lane's completion offset including that idle
+        self._lane_busy_ms = busy
+        self._lane_end_ms = dict(clocks)
+        self._makespan_ms = max(clocks.values(), default=0.0)
+        self._compiled = True
+
+    # --------------------------------------------------------------- replay
+    def replay(self, **bindings) -> Dict[str, np.ndarray]:
+        """Execute the captured sequence with *bindings* as new H2D sources.
+
+        Keyword names select input buffers by label; unbound inputs re-use
+        the host data snapshotted at capture.  Returns ``{label: array}``
+        for every captured D2H copy.  Raises :class:`DeviceError` for an
+        unknown binding or a freed buffer.
+        """
+        if not self._compiled:
+            raise DeviceError(
+                f"graph {self.name!r} is still capturing; close the "
+                f"capture block before replaying"
+            )
+        if self.ctx._capture is not None:
+            # Graph-in-graph recording is not supported: executing here
+            # would silently run work at capture time and omit it from the
+            # capturing graph.
+            raise DeviceError(
+                f"cannot replay graph {self.name!r} while a capture is "
+                f"active on the context"
+            )
+        if self.ctx._pending:
+            # A replay is ordered after previously enqueued work, exactly
+            # like any other submission — drain the queue so the graph sees
+            # up-to-date buffer contents.
+            self.ctx.synchronize()
+        unknown = set(bindings) - set(self._h2d_specs)
+        if unknown:
+            raise DeviceError(
+                f"graph {self.name!r} has no input buffer(s) "
+                f"{sorted(unknown)}; known inputs: {sorted(self._h2d_specs)}"
+            )
+        for buf in self._buffers:
+            if buf.freed:
+                raise DeviceError(
+                    f"replay of graph {self.name!r} uses freed buffer "
+                    f"{buf.label!r}"
+                )
+        sources: Dict[str, object] = {}
+        for label, value in bindings.items():
+            buf, _ = self._h2d_specs[label]
+            src = np.asarray(value, dtype=buf.dtype.to_numpy()).reshape(-1)
+            if src.size != buf.count:
+                raise DeviceError(
+                    f"binding {label!r} has {src.size} elements, buffer "
+                    f"holds {buf.count}"
+                )
+            sources[label] = src
+
+        outputs: Dict[str, np.ndarray] = {}
+        for kind, payload in self._steps:
+            if kind == "kernel":
+                payload()
+            elif kind == "h2d":
+                buf, label, captured = payload
+                buf.array[...] = sources.get(label, captured)
+            elif kind == "d2h":
+                buf, = payload
+                outputs[buf.label] = buf.array.copy()
+            else:  # memset
+                buf, value = payload
+                buf.array[...] = value
+
+        self.replays += 1
+        start = max(s._clock_ms for s in self._streams)
+        end = start + self._makespan_ms
+        for ev, offset in self._event_offsets:
+            ev._timestamp_ms = start + offset
+        details = {"operations": len(self._steps), "kernels": self._kernels,
+                   "replay": self.replays}
+        # One summary event per captured stream, so per-lane accounting
+        # (ctx.lanes / pipeline_breakdown) stays truthful for multi-stream
+        # graphs: modelled time is the lane's *busy* time (wait idle
+        # excluded, keeping serial_ms honest), end_ms its true completion
+        # offset (keeping elapsed_ms = makespan).  Every lane's clock still
+        # advances to the graph's end — a graph completes as a unit.
+        for s in self._streams:
+            self.ctx.timeline.append(StreamEvent(
+                "graph", self.name, self._lane_busy_ms.get(s.name, 0.0),
+                None, details, stream=s.name, start_ms=start,
+                end_ms=start + self._lane_end_ms.get(s.name, 0.0)))
+            s._clock_ms = end
+        return outputs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DeviceGraph({self.name}, ops={self.num_operations}, "
+                f"kernels={self.num_kernels}, replays={self.replays})")
+
+
+class _GraphCapture:
+    """Context manager returned by :meth:`DeviceContext.capture`."""
+
+    def __init__(self, ctx: "DeviceContext", name: str):
+        self.ctx = ctx
+        self.graph = DeviceGraph(ctx, name)
+
+    def __enter__(self) -> DeviceGraph:
+        if self.ctx._capture is not None:
+            raise DeviceError("a device-graph capture is already active")
+        self.ctx._capture = self.graph
+        return self.graph
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.ctx._capture = None
+        if exc_type is None:
+            self.graph._compile()
+
+
+#: fraction of peak DRAM bandwidth a device-side memset achieves
+_MEMSET_EFFICIENCY = 0.85
 
 
 class DeviceContext:
@@ -142,6 +691,7 @@ class DeviceContext:
     eager:
         When True (default) enqueued work executes immediately;
         when False it runs at :meth:`synchronize`, matching a real stream.
+        Either way the modelled timeline is stream/event-aware.
     executor:
         Optional custom :class:`KernelExecutor` (tests inject small limits).
     """
@@ -153,8 +703,80 @@ class DeviceContext:
         self._tracker = AllocationTracker(self.spec)
         self._transfer_model = TransferModel(self.spec)
         self._executor = executor or KernelExecutor()
-        self._pending: List[Callable[[], StreamEvent]] = []
+        self._streams: Dict[str, Stream] = {}
+        self.default_stream: Stream = self.stream("default")
+        self._pending: List[_Op] = []
+        self._capture: Optional[DeviceGraph] = None
+        #: events recorded on this context, invalidated by reset_timeline()
+        #: (weak: an event dropped by the caller should not be kept alive)
+        self._recorded_events: "weakref.WeakSet[Event]" = weakref.WeakSet()
         self.timeline: List[StreamEvent] = []
+
+    # --------------------------------------------------------------- streams
+    def stream(self, name: str) -> Stream:
+        """The stream called *name*, created on first use (FIFO per stream)."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        s = Stream(self, name, len(self._streams))
+        self._streams[name] = s
+        return s
+
+    def stream_pool(self, n: int, prefix: str = "lane") -> List[Stream]:
+        """``n`` streams for round-robin work distribution.
+
+        ``n <= 1`` returns ``[default_stream]`` so single-stream callers pay
+        no structural difference.
+        """
+        if n <= 1:
+            return [self.default_stream]
+        return [self.stream(f"{prefix}{i}") for i in range(int(n))]
+
+    @property
+    def streams(self) -> Tuple[Stream, ...]:
+        return tuple(self._streams.values())
+
+    def event(self, name: str = "") -> Event:
+        """A new (unrecorded) :class:`Event` bound to this context."""
+        return Event(self, name)
+
+    def upload_pipeline(self, streams: int,
+                        prefix: str = "h2d") -> Tuple[List[Stream], Stream]:
+        """``(upload_lanes, compute_stream)`` for an uploads-then-compute run.
+
+        The pattern every kernel runner uses: with ``streams > 1`` the
+        uploads round-robin over their own lanes and the kernel runs on a
+        separate ``"compute"`` stream (order it with :meth:`fan_in`); with
+        one stream everything shares the default stream and plain FIFO
+        ordering applies.
+        """
+        pool = self.stream_pool(streams, prefix=prefix)
+        compute = self.stream("compute") if streams > 1 else self.default_stream
+        return pool, compute
+
+    def fan_in(self, lanes: Sequence[Stream], into: Stream,
+               prefix: str = "join") -> Stream:
+        """Make *into* wait for the current tail of every stream in *lanes*.
+
+        Records one event per lane and waits on all of them — the standard
+        uploads-then-compute barrier the kernel runners use.  Lanes that
+        *are* the target stream are skipped (FIFO ordering already covers
+        them), so single-stream pipelines pay nothing.
+        """
+        for i, lane in enumerate(lanes):
+            if lane is into:
+                continue
+            into.wait(self.event(f"{prefix}{i}").record(lane))
+        return into
+
+    def _resolve_stream(self, stream: Optional[Stream]) -> Stream:
+        if stream is None:
+            return self.default_stream
+        if not isinstance(stream, Stream) or stream.ctx is not self:
+            raise DeviceError(
+                f"stream {stream!r} does not belong to this context"
+            )
+        return stream
 
     # ------------------------------------------------------------ allocation
     def enqueue_create_buffer(self, dtype, count: int, *, label: str = "") -> DeviceBuffer:
@@ -177,8 +799,9 @@ class DeviceContext:
         mode: str = "auto",
         model: Optional[KernelModel] = None,
         timing=None,
+        stream: Optional[Stream] = None,
     ) -> None:
-        """Enqueue a kernel launch.
+        """Enqueue a kernel launch on *stream* (default stream if omitted).
 
         ``model``/``timing`` are optional: when a :class:`KernelModel` (or a
         precomputed timing breakdown) is supplied, the modelled kernel time is
@@ -187,8 +810,10 @@ class DeviceContext:
         if not isinstance(kern, Kernel):
             kern = Kernel(kern)
         launch = LaunchConfig.make(grid_dim, block_dim)
+        stream = self._resolve_stream(stream)
+        buffers = _referenced_buffers(args)
 
-        def run() -> StreamEvent:
+        def work() -> Tuple[float, Optional[ExecutionResult], dict]:
             execution = self._executor.launch(kern, args, launch, mode=mode)
             modelled = 0.0
             details = {}
@@ -198,28 +823,110 @@ class DeviceContext:
             elif model is not None:
                 modelled = self._predict_time(model, launch)
                 details["model"] = model
-            event = StreamEvent("kernel", kern.name, modelled, execution, details)
-            self.timeline.append(event)
-            return event
+            return modelled, execution, details
 
-        if self.eager:
-            run()
+        op = _Op("kernel", kern.name, stream, stream._take_waits(), buffers,
+                 work, meta={"kern": kern, "args": args, "launch": launch,
+                             "mode": mode, "model": model, "timing": timing})
+        self._submit(op)
+
+    def enqueue_fill(self, buf: DeviceBuffer, value, *,
+                     stream: Optional[Stream] = None) -> None:
+        """Enqueue a modelled device-side memset of *buf* to *value*."""
+        buf._check_live()
+        stream = self._resolve_stream(stream)
+        t_ms = buf.nbytes / (self.spec.peak_bandwidth_bytes
+                             * _MEMSET_EFFICIENCY) * 1e3
+
+        def work() -> Tuple[float, Optional[ExecutionResult], dict]:
+            buf.array[...] = value
+            return t_ms, None, {"nbytes": buf.nbytes, "value": value}
+
+        op = _Op("memset", f"memset:{buf.label}", stream,
+                 stream._take_waits(), (buf,), work,
+                 meta={"value": value, "duration_ms": t_ms})
+        self._submit(op)
+
+    # --------------------------------------------------------------- capture
+    def capture(self, name: str = "") -> _GraphCapture:
+        """Record the enqueues of a ``with`` block into a :class:`DeviceGraph`.
+
+        Nothing executes during capture; run the result with
+        :meth:`DeviceGraph.replay`.
+        """
+        return _GraphCapture(self, name)
+
+    # ------------------------------------------------------------- execution
+    def _submit_transfer(self, kind: str, buf: DeviceBuffer,
+                         fn: Callable[[], None], stream: Optional[Stream],
+                         src=None) -> None:
+        stream = self._resolve_stream(stream)
+        t_ms = self._transfer_model.transfer_time_s(buf.nbytes) * 1e3
+
+        def work() -> Tuple[float, Optional[ExecutionResult], dict]:
+            fn()
+            return t_ms, None, {"nbytes": buf.nbytes, "buffer": buf.label}
+
+        op = _Op(kind, f"{kind}:{buf.nbytes}B", stream, stream._take_waits(),
+                 (buf,), work,
+                 meta={"src": src, "duration_ms": t_ms})
+        self._submit(op)
+
+    def _submit(self, op: _Op) -> None:
+        if self._capture is not None:
+            self._capture._record(op)
+        elif self.eager:
+            self._execute(op)
         else:
-            self._pending.append(run)
+            self._pending.append(op)
+
+    def _execute(self, op: _Op) -> StreamEvent:
+        for buf in op.buffers:
+            if buf.freed:
+                raise DeviceError(
+                    f"pending {op.kind} operation {op.name!r} uses freed "
+                    f"buffer {buf.label!r}"
+                )
+        start = op.stream._clock_ms
+        for ev in op.waits:
+            if ev._timestamp_ms is None:
+                raise DeviceError(
+                    f"operation {op.name!r} waits on event {ev.name!r} "
+                    f"which never executed"
+                )
+            start = max(start, ev._timestamp_ms)
+        duration, execution, details = op.work()
+        end = start + duration
+        op.stream._clock_ms = end
+        if op.event is not None:
+            op.event._timestamp_ms = start
+        event = StreamEvent(op.kind, op.name, duration, execution, details,
+                            stream=op.stream.name, start_ms=start, end_ms=end)
+        self.timeline.append(event)
+        return event
 
     def synchronize(self) -> List[StreamEvent]:
-        """Execute all pending work and return the full timeline."""
+        """Execute all pending work in dependency order; return the timeline.
+
+        The pending queue is drained in enqueue order, which is a valid
+        topological order of the stream/event DAG (an event can only be
+        waited on after its ``record`` was enqueued).  The queue is emptied
+        even when an operation raises — matching a real queue, where
+        submitted work is consumed exactly once.
+        """
+        if self._capture is not None:
+            raise DeviceError("cannot synchronize during device-graph capture")
         pending, self._pending = self._pending, []
         for op in pending:
-            op()
+            self._execute(op)
         return self.timeline
 
-    # -------------------------------------------------------------- accounting
-    def _record_transfer(self, kind: str, nbytes: int) -> None:
-        t_ms = self._transfer_model.transfer_time_s(nbytes) * 1e3
-        self.timeline.append(StreamEvent(kind, f"{kind}:{nbytes}B", t_ms,
-                                         details={"nbytes": nbytes}))
+    @property
+    def pending_operations(self) -> int:
+        """Operations enqueued but not yet executed (always 0 when eager)."""
+        return len(self._pending)
 
+    # -------------------------------------------------------------- accounting
     def _predict_time(self, model: KernelModel, launch: LaunchConfig) -> float:
         # Local import: timing needs a compiled kernel, which needs a backend
         # profile; use the generic profile for context-level estimates.
@@ -245,8 +952,65 @@ class DeviceContext:
     def kernels_launched(self) -> int:
         return sum(1 for e in self.timeline if e.kind == "kernel")
 
+    @property
+    def elapsed_ms(self) -> float:
+        """Critical-path makespan (ms) of the executed timeline.
+
+        With work spread over multiple streams this is *less* than
+        :attr:`serial_time_ms` — transfers and kernels on independent lanes
+        overlap; event waits re-serialise exactly the dependencies the
+        caller declared.
+        """
+        return max((e.end_ms for e in self.timeline), default=0.0)
+
+    @property
+    def serial_time_ms(self) -> float:
+        """Sum of all executed operations' modelled durations."""
+        return sum(e.modelled_time_ms for e in self.timeline)
+
+    @property
+    def lanes(self) -> Dict[str, List[StreamEvent]]:
+        """The executed timeline grouped into per-stream lanes."""
+        out: Dict[str, List[StreamEvent]] = {}
+        for e in self.timeline:
+            out.setdefault(e.stream, []).append(e)
+        return out
+
+    def pipeline_breakdown(self) -> PipelineTiming:
+        """Overlap-aware :class:`PipelineTiming` of the executed timeline."""
+        lanes = {name: sum(e.modelled_time_ms for e in events)
+                 for name, events in self.lanes.items()}
+        return PipelineTiming(elapsed_ms=self.elapsed_ms,
+                              serial_ms=self.serial_time_ms,
+                              lanes=lanes, operations=len(self.timeline))
+
     def reset_timeline(self) -> None:
+        """Clear the executed timeline and rewind the stream clocks.
+
+        Work still pending (``eager=False``) stays queued and executes from
+        ``t=0`` at the next :meth:`synchronize`.  Events recorded before the
+        reset are invalidated — their timestamps belong to the discarded
+        timeline, so waiting on them (or reading ``elapsed_ms``) raises
+        until they are recorded again.
+        """
         self.timeline.clear()
+        for s in self._streams.values():
+            s._clock_ms = 0.0
+        for ev in self._recorded_events:
+            ev._stream = None
+            ev._timestamp_ms = None
+        self._recorded_events = weakref.WeakSet()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DeviceContext({self.spec.name}, eager={self.eager})"
+
+
+def _referenced_buffers(args: Sequence) -> Tuple[DeviceBuffer, ...]:
+    """Device buffers referenced by a kernel argument list (deduplicated)."""
+    found: Dict[int, DeviceBuffer] = {}
+    for a in args:
+        if isinstance(a, DeviceBuffer):
+            found[id(a)] = a
+        elif isinstance(a, LayoutTensor) and a.device_buffer is not None:
+            found[id(a.device_buffer)] = a.device_buffer
+    return tuple(found.values())

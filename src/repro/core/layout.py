@@ -175,7 +175,7 @@ class LayoutTensor:
     """
 
     __slots__ = ("dtype", "layout", "_data", "mut", "bounds_check", "name",
-                 "_strides", "_f64")
+                 "_strides", "_f64", "device_buffer")
 
     def __init__(self, dtype, layout: Layout, storage, *, mut: bool = True,
                  bounds_check: bool = True, name: str = ""):
@@ -191,6 +191,11 @@ class LayoutTensor:
         # NumPy scalar so per-operation rounding is preserved.
         self._strides = layout.strides
         self._f64 = self.dtype.name == "float64"
+        # Back-reference to the owning DeviceBuffer (duck-typed: device.py
+        # imports this module, not the other way round) so enqueued kernels
+        # can detect use-after-free of a pending launch at execution time.
+        self.device_buffer = (storage if hasattr(storage, "freed")
+                              and hasattr(storage, "array") else None)
         data = _storage_array(storage)
         if data.size < layout.size:
             raise LayoutError(

@@ -78,7 +78,7 @@ import inspect
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import LaunchError
 from ..core.intrinsics import Dim3, ThreadState, bind_thread_state
@@ -308,6 +308,39 @@ class KernelExecutor:
             wall_time_s=wall,
             shared_bytes_per_block=max_shared,
         )
+
+    def instantiate(self, kern: Kernel, args: Sequence, launch: LaunchConfig,
+                    *, mode: str = "auto") -> Callable[[], None]:
+        """Pre-validate a launch and return a zero-argument re-execution thunk.
+
+        The functional-simulator analogue of graph instantiation: kernel
+        wrapping, launch validation, thread-limit checks and execution-mode
+        resolution are paid once here, and the returned thunk only performs
+        the kernel's functional work.  Used by
+        :meth:`repro.core.device.DeviceGraph.replay` to amortise launch
+        overhead across repeats; the thunk reports no counters or timings.
+        """
+        if not isinstance(kern, Kernel):
+            kern = Kernel(kern)
+        launch.validate()
+        if launch.total_threads > self.max_total_threads:
+            raise LaunchError(
+                f"functional launch of {launch.total_threads} threads exceeds "
+                f"the simulator limit of {self.max_total_threads}"
+            )
+        if mode in ("auto", "vectorized") and kernel_vector_safe(kern):
+            per_block = kernel_uses_barrier(kern)
+
+            def thunk() -> None:
+                run_vectorized(kern, args, launch, ExecutionCounters(),
+                               per_block=per_block)
+
+            return thunk
+
+        def thunk() -> None:
+            self.launch(kern, args, launch, mode=mode)
+
+        return thunk
 
     # ----------------------------------------------------------- sequential
     def _run_sequential(self, kern, args, launch, counters) -> int:

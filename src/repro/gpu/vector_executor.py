@@ -34,6 +34,7 @@ scalar executors automatically — see :meth:`KernelExecutor.launch`.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 import numpy as np
@@ -158,6 +159,91 @@ def _lane_indices(extent: Dim3):
     return x, y, z
 
 
+#: memoised launch geometries (the per-lane index arrays depend only on the
+#: grid/block extents).  Cached entries are frozen read-only, so a kernel
+#: that mutated its index arrays in place fails loudly instead of corrupting
+#: later launches.  Caching removes the arange/tile/repeat cost from every
+#: repeated launch (which is what makes captured-graph replay cheap), and is
+#: limited to small launches so the cache stays byte-bounded and big grids
+#: keep their one-transient-chunk memory profile.
+_GEOMETRY_CACHE: Dict[tuple, list] = {}
+#: launches with at most this many total threads are cached (one chunk)
+_GEOMETRY_CACHE_MAX_LANES = 1 << 16
+#: total cached lane-index bytes before the cache is dropped and rebuilt
+_GEOMETRY_CACHE_MAX_BYTES = 32 << 20
+_geometry_cache_bytes = 0
+#: guards the cache dict and byte counter: sweeps run launches on worker
+#: threads (Sweep.run_workload(workers=N) / run_workload_async)
+_geometry_lock = threading.Lock()
+
+
+def _iter_chunks(bd: Dim3, gd: Dim3):
+    """Yield ``(thread_idx, block_idx, lanes)`` whole-grid lane chunks.
+
+    Consecutive blocks are fused into chunks of at most
+    :data:`VECTOR_CHUNK_LANES` lanes; each chunk's index arrays are built
+    transiently, so peak memory for big grids is one chunk.
+    """
+    tpb = bd.total
+    tx, ty, tz = _lane_indices(bd)
+    bx, by, bz = _lane_indices(gd)
+    blocks_per_chunk = max(VECTOR_CHUNK_LANES // tpb, 1)
+    for start in range(0, gd.total, blocks_per_chunk):
+        stop = min(start + blocks_per_chunk, gd.total)
+        nblocks = stop - start
+        if nblocks == 1:
+            yield (LaneDim3(tx, ty, tz),
+                   LaneDim3(int(bx[start]), int(by[start]), int(bz[start])),
+                   tpb)
+        else:
+            yield (
+                LaneDim3(np.tile(tx, nblocks), np.tile(ty, nblocks),
+                         np.tile(tz, nblocks)),
+                LaneDim3(np.repeat(bx[start:stop], tpb),
+                         np.repeat(by[start:stop], tpb),
+                         np.repeat(bz[start:stop], tpb)),
+                nblocks * tpb,
+            )
+
+
+def _grid_geometry(bd: Dim3, gd: Dim3):
+    """Whole-grid lane geometry: an iterable of chunk tuples.
+
+    Small launches (≤ :data:`_GEOMETRY_CACHE_MAX_LANES` threads) return a
+    memoised list of frozen chunks; larger grids return the transient
+    chunk generator.
+    """
+    global _geometry_cache_bytes
+    key = (bd.x, bd.y, bd.z, gd.x, gd.y, gd.z)
+    with _geometry_lock:
+        cached = _GEOMETRY_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if gd.total * bd.total > _GEOMETRY_CACHE_MAX_LANES:
+        return _iter_chunks(bd, gd)
+    chunks = list(_iter_chunks(bd, gd))
+    nbytes = 0
+    seen: set = set()
+    for thread_idx, block_idx, _ in chunks:
+        for dim3 in (thread_idx, block_idx):
+            for comp in (dim3.x, dim3.y, dim3.z):
+                if isinstance(comp, np.ndarray):
+                    comp.setflags(write=False)
+                    if id(comp) not in seen:  # tx/ty/tz shared across chunks
+                        seen.add(id(comp))
+                        nbytes += comp.nbytes
+    with _geometry_lock:
+        raced = _GEOMETRY_CACHE.get(key)
+        if raced is not None:
+            return raced
+        if _geometry_cache_bytes + nbytes > _GEOMETRY_CACHE_MAX_BYTES:
+            _GEOMETRY_CACHE.clear()
+            _geometry_cache_bytes = 0
+        _GEOMETRY_CACHE[key] = chunks
+        _geometry_cache_bytes += nbytes
+    return chunks
+
+
 def run_vectorized(kern, args, launch, counters, *, per_block: bool) -> int:
     """Execute one launch in lockstep; returns the peak shared bytes/block.
 
@@ -168,10 +254,10 @@ def run_vectorized(kern, args, launch, counters, *, per_block: bool) -> int:
     fn = kern.fn if isinstance(kern, Kernel) else kern
     bd, gd = launch.block_dim, launch.grid_dim
     tpb = bd.total
-    tx, ty, tz = _lane_indices(bd)
     max_shared = 0
 
     if per_block:
+        tx, ty, tz = _lane_indices(bd)
         bx, by, bz = _lane_indices(gd)
         state = VectorThreadState(
             thread_idx=LaneDim3(tx, ty, tz),
@@ -190,33 +276,18 @@ def run_vectorized(kern, args, launch, counters, *, per_block: bool) -> int:
         counters.merge(threads_run=gd.total * tpb, blocks_run=gd.total)
         return max_shared
 
-    # Whole-grid mode: blocks are independent, fuse them into lane chunks.
-    blocks_per_chunk = max(VECTOR_CHUNK_LANES // tpb, 1)
-    bx, by, bz = _lane_indices(gd)
+    # Whole-grid mode: blocks are independent, fused into chunks (memoised
+    # for small launches, a transient generator for big grids).
     state = VectorThreadState(
-        thread_idx=LaneDim3(tx, ty, tz),
+        thread_idx=LaneDim3(0, 0, 0),
         block_idx=LaneDim3(0, 0, 0),
         block_dim=bd, grid_dim=gd, num_lanes=tpb, counters=counters,
     )
     with bind_thread_state(state):
-        for start in range(0, gd.total, blocks_per_chunk):
-            stop = min(start + blocks_per_chunk, gd.total)
-            nblocks = stop - start
-            if nblocks == 1:
-                state.thread_idx = LaneDim3(tx, ty, tz)
-                state.block_idx = LaneDim3(int(bx[start]), int(by[start]),
-                                           int(bz[start]))
-                state.num_lanes = tpb
-            else:
-                state.thread_idx = LaneDim3(np.tile(tx, nblocks),
-                                            np.tile(ty, nblocks),
-                                            np.tile(tz, nblocks))
-                state.block_idx = LaneDim3(
-                    np.repeat(bx[start:stop], tpb),
-                    np.repeat(by[start:stop], tpb),
-                    np.repeat(bz[start:stop], tpb),
-                )
-                state.num_lanes = nblocks * tpb
+        for thread_idx, block_idx, num_lanes in _grid_geometry(bd, gd):
+            state.thread_idx = thread_idx
+            state.block_idx = block_idx
+            state.num_lanes = num_lanes
             state.block_shared = {}
             state._shared_seq = 0
             fn(*args)

@@ -112,7 +112,7 @@ class Sweep:
     # --------------------------------------------------------------- workloads
     #: configuration keys lifted into RunRequest fields rather than params
     REQUEST_FIELDS = ("gpu", "backend", "precision", "fast_math", "verify",
-                      "executor")
+                      "executor", "streams")
 
     def requests(self, workload, **base) -> Iterator["object"]:
         """Yield one validated ``RunRequest`` per configuration.
@@ -138,6 +138,23 @@ class Sweep:
                     params[name] = value
             yield wl.make_request(params=params, **fields)
 
+    def _workload_plan(self, workload, cache: bool, base: Dict[str, object]):
+        """Shared setup for the sync/async workload runners.
+
+        Resolves the workload, materialises the sweep's requests, and picks
+        the per-request runner — memoised through the request-level result
+        cache unless ``cache=False``.  The runner closes over the resolved
+        instance: ``run_cached`` must not re-resolve by name, or sweeps over
+        unregistered ``Workload`` instances break.
+        """
+        from ..workloads import get_workload  # cycle-break, as in requests()
+        from ..workloads.cache import run_cached
+
+        wl = get_workload(workload)
+        reqs = list(self.requests(wl, **base))
+        runner = (lambda r: run_cached(r, workload=wl)) if cache else wl.run
+        return runner, reqs
+
     def run_workload(self, workload, *, workers: Optional[int] = None,
                      cache: bool = True, **base) -> List[object]:
         """Run a registered workload over every configuration.
@@ -152,14 +169,7 @@ class Sweep:
         configurations — are answered without re-running the workload.
         Pass ``cache=False`` to force fresh runs.
         """
-        from ..workloads import get_workload  # cycle-break, as in requests()
-        from ..workloads.cache import run_cached
-
-        wl = get_workload(workload)
-        reqs = list(self.requests(wl, **base))
-        # Close over the resolved instance: run_cached must not re-resolve
-        # by name, or sweeps over unregistered Workload instances break.
-        runner = (lambda r: run_cached(r, workload=wl)) if cache else wl.run
+        runner, reqs = self._workload_plan(workload, cache, base)
         if workers is None or workers <= 1:
             return [runner(r) for r in reqs]
         from concurrent.futures import ThreadPoolExecutor
@@ -167,6 +177,28 @@ class Sweep:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(runner, r) for r in reqs]
             return [f.result() for f in futures]
+
+    async def run_workload_async(self, workload, *, workers: int = 4,
+                                 cache: bool = True, **base) -> List[object]:
+        """Asynchronously run a registered workload over every configuration.
+
+        The coroutine counterpart of :meth:`run_workload`, built on the
+        workloads' ``run_async`` thread façade: at most *workers* requests
+        execute concurrently (each on its own worker thread with its own
+        device context — no mutable state is shared), and the result list
+        follows sweep order regardless of completion order
+        (``asyncio.gather`` preserves argument order).
+        """
+        import asyncio
+
+        runner, reqs = self._workload_plan(workload, cache, base)
+        gate = asyncio.Semaphore(max(int(workers), 1))
+
+        async def one(request):
+            async with gate:
+                return await asyncio.to_thread(runner, request)
+
+        return list(await asyncio.gather(*(one(r) for r in reqs)))
 
 
 def sweep(**parameters: Iterable[object]) -> Sweep:

@@ -9,6 +9,7 @@ verification used by the original benchmark.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -73,6 +74,8 @@ def run_babelstream_functional(
     num_iterations: int = 2,
     dot_blocks: int = 4,
     executor: str = "auto",
+    streams: int = 1,
+    pipeline_sink: Optional[dict] = None,
 ) -> Dict[str, float]:
     """Run the five device kernels through the functional simulator.
 
@@ -80,52 +83,74 @@ def run_babelstream_functional(
     returns the verification errors.  Raises on any mismatch.  ``executor``
     selects the simulator mode for all five launches (``"auto"`` is the
     lockstep vectorized engine for these vector-safe kernels).
+    ``streams > 1`` puts the initial memsets on their own streams and
+    event-orders the kernel stream behind them; the kernels themselves are
+    data-dependent on each other and stay FIFO on one stream, so the
+    numerics are identical for any stream count.  *pipeline_sink* receives
+    the context's :class:`~repro.core.device.PipelineTiming` under
+    ``"pipeline"`` when given.
     """
     dtype = dtype_from_any(precision)
     ctx = DeviceContext(gpu)
+    pool, compute = ctx.upload_pipeline(streams, prefix="init")
+    lanes = itertools.cycle(pool)
     a_buf = ctx.enqueue_create_buffer(dtype, n, label="a")
     b_buf = ctx.enqueue_create_buffer(dtype, n, label="b")
     c_buf = ctx.enqueue_create_buffer(dtype, n, label="c")
-    a_buf.fill(START_A)
-    b_buf.fill(START_B)
-    c_buf.fill(START_C)
+    a_buf.fill(START_A, stream=next(lanes))
+    b_buf.fill(START_B, stream=next(lanes))
+    c_buf.fill(START_C, stream=next(lanes))
     a, b, c = a_buf.tensor(), b_buf.tensor(), c_buf.tensor()
+    ctx.fan_in(pool, compute, prefix="init")
 
     launch = LaunchConfig.for_elements(n, tb_size)
     dot_sums = ctx.enqueue_create_buffer(DType.float64, dot_blocks, label="dot_sums")
     dot_launch = LaunchConfig.make(dot_blocks, tb_size)
 
+    def op_model(op, elements_per_thread=1.0):
+        return babelstream_kernel_model(op, n=n, precision=precision,
+                                        elements_per_thread=elements_per_thread,
+                                        tb_size=tb_size)
+
     dot_value = 0.0
     for _ in range(num_iterations):
         ctx.enqueue_function(copy_kernel, a, c, n,
                              grid_dim=launch.grid_dim, block_dim=launch.block_dim,
-                             mode=executor)
+                             mode=executor, model=op_model("copy"),
+                             stream=compute)
         ctx.enqueue_function(mul_kernel, b, c, SCALAR, n,
                              grid_dim=launch.grid_dim, block_dim=launch.block_dim,
-                             mode=executor)
+                             mode=executor, model=op_model("mul"),
+                             stream=compute)
         ctx.enqueue_function(add_kernel, a, b, c, n,
                              grid_dim=launch.grid_dim, block_dim=launch.block_dim,
-                             mode=executor)
+                             mode=executor, model=op_model("add"),
+                             stream=compute)
         ctx.enqueue_function(triad_kernel, a, b, c, SCALAR, n,
                              grid_dim=launch.grid_dim, block_dim=launch.block_dim,
-                             mode=executor)
-        dot_sums.fill(0.0)
+                             mode=executor, model=op_model("triad"),
+                             stream=compute)
+        dot_sums.fill(0.0, stream=compute)
         dot_tensor = dot_sums.tensor()
         # Dot needs its barriers honoured: a "sequential" opt-out means
         # "scalar", which for a barrier kernel is the cooperative pool.
         dot_mode = "cooperative" if executor == "sequential" else executor
         ctx.enqueue_function(dot_kernel, a, b, dot_tensor, n, tb_size,
                              grid_dim=dot_launch.grid_dim,
-                             block_dim=dot_launch.block_dim, mode=dot_mode)
+                             block_dim=dot_launch.block_dim, mode=dot_mode,
+                             model=op_model("dot", n / dot_launch.total_threads),
+                             stream=compute)
         ctx.synchronize()
-        dot_value = float(dot_sums.copy_to_host().sum())
+        dot_value = float(dot_sums.copy_to_host(stream=compute).sum())
 
     # Mirror the device state into the host reference container for the
     # standard scalar-replay verification.
     host = BabelStreamArrays(n, precision)
-    host.a = a_buf.copy_to_host()
-    host.b = b_buf.copy_to_host()
-    host.c = c_buf.copy_to_host()
+    host.a = a_buf.copy_to_host(stream=compute)
+    host.b = b_buf.copy_to_host(stream=compute)
+    host.c = c_buf.copy_to_host(stream=compute)
+    if pipeline_sink is not None:
+        pipeline_sink["pipeline"] = ctx.pipeline_breakdown()
     host.scalar = host.a.dtype.type(SCALAR)
     errors = verify_arrays(host, num_iterations)
     errors["dot"] = verify_dot(dot_value, host)
@@ -140,7 +165,7 @@ class BabelStreamBenchmark:
                  tb_size: int = 1024, num_times: int = 100,
                  jitter: float = 0.01, seed: int = 2025,
                  fast_math: bool = False, warmup: int = 1,
-                 executor: str = "auto"):
+                 executor: str = "auto", streams: int = 1):
         self.n = int(n)
         self.precision = precision
         self.backend = get_backend(backend)
@@ -155,6 +180,8 @@ class BabelStreamBenchmark:
         self.warmup = int(warmup)
         #: functional-simulator mode used for verification launches
         self.executor = executor
+        #: device streams used by the verification pipeline
+        self.streams = int(streams)
 
     # ------------------------------------------------------------------ model
     def launch_for(self, op: str) -> LaunchConfig:
@@ -175,13 +202,15 @@ class BabelStreamBenchmark:
         )
 
     # -------------------------------------------------------------------- run
-    def run(self, *, verify: bool = True) -> BabelStreamResult:
+    def run(self, *, verify: bool = True,
+            pipeline_sink: Optional[dict] = None) -> BabelStreamResult:
         verification_errors: Dict[str, float] = {}
         verified = False
         if verify:
             verification_errors = run_babelstream_functional(
                 precision=self.precision, gpu=self.spec.name,
-                executor=self.executor)
+                executor=self.executor, streams=self.streams,
+                pipeline_sink=pipeline_sink)
             verified = True
 
         bandwidths: Dict[str, float] = {}

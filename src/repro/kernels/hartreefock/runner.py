@@ -19,8 +19,9 @@ The benchmark engine itself lives in :mod:`repro.workloads.hartreefock`;
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -31,7 +32,11 @@ from ...core.layout import Layout
 from ...gpu.timing import TimingBreakdown
 from .basis import HeSystem, make_helium_system, triangular_pairs
 from .eri import pair_schwarz, schwarz_identical_basis
-from .kernel import SCHWARZ_TOLERANCE, hartree_fock_kernel
+from .kernel import (
+    SCHWARZ_TOLERANCE,
+    hartree_fock_kernel,
+    hartree_fock_kernel_model,
+)
 from .reference import fock_quadruple_reference, verify_fock
 
 __all__ = ["HartreeFockResult", "run_hartreefock", "run_hartreefock_functional",
@@ -108,13 +113,20 @@ def run_hartreefock_functional(natoms: int = 4, ngauss: int = 3, *,
                                block_size: int = 16,
                                spacing: float = 2.5,
                                schwarz_tol: float = 0.0,
-                               executor: str = "auto") -> Tuple[np.ndarray, float]:
+                               executor: str = "auto",
+                               streams: int = 1,
+                               pipeline_sink: Optional[dict] = None,
+                               ) -> Tuple[np.ndarray, float]:
     """Run the device kernel functionally on a small system and verify it.
 
     Returns ``(fock, max_rel_error)`` against the host quadruple reference.
     ``schwarz_tol=0`` disables screening so every quadruple is exercised.
     ``executor`` selects the simulator mode (``"auto"`` is lockstep
-    vectorized).
+    vectorized); ``streams > 1`` spreads the six input uploads round-robin
+    over that many H2D streams with the kernel event-ordered behind them
+    (identical numerics, overlapped modelled pipeline).  *pipeline_sink*
+    receives the context's :class:`~repro.core.device.PipelineTiming` under
+    ``"pipeline"`` when given.
     """
     system = make_helium_system(natoms, ngauss, spacing=spacing)
     schwarz = compute_schwarz(system)
@@ -122,11 +134,13 @@ def run_hartreefock_functional(natoms: int = 4, ngauss: int = 3, *,
 
     ctx = DeviceContext(gpu)
     n = system.natoms
+    pool, compute = ctx.upload_pipeline(streams)
+    lanes = itertools.cycle(pool)
 
     def make_tensor(data, shape, label, dtype=DType.float64):
         flat = np.asarray(data, dtype=np.float64).reshape(-1)
         buf = ctx.enqueue_create_buffer(dtype, flat.size, label=label)
-        buf.copy_from_host(flat)
+        buf.copy_from_host(flat, stream=next(lanes))
         return buf, buf.tensor(Layout.row_major(*shape), bounds_check=False)
 
     _, schwarz_t = make_tensor(schwarz, (len(schwarz),), "schwarz")
@@ -137,14 +151,22 @@ def run_hartreefock_functional(natoms: int = 4, ngauss: int = 3, *,
     fock_buf, fock_t = make_tensor(np.zeros((n, n)), (n, n), "fock")
 
     launch = LaunchConfig.for_elements(nquads, block_size)
+    ctx.fan_in(pool, compute, prefix="uploads")
+    survivors = (surviving_quadruple_fraction(schwarz, schwarz_tol)
+                 if schwarz_tol > 0 else 1.0)
     ctx.enqueue_function(
         hartree_fock_kernel, ngauss, n, nquads, schwarz_t, schwarz_tol,
         xpnt_t, coef_t, geom_t, dens_t, fock_t,
         grid_dim=launch.grid_dim, block_dim=launch.block_dim, mode=executor,
+        model=hartree_fock_kernel_model(natoms=n, ngauss=ngauss,
+                                        surviving_fraction=survivors),
+        stream=compute,
     )
     ctx.synchronize()
 
-    fock = fock_buf.copy_to_host().reshape(n, n)
+    fock = fock_buf.copy_to_host(stream=compute).reshape(n, n)
+    if pipeline_sink is not None:
+        pipeline_sink["pipeline"] = ctx.pipeline_breakdown()
     expected = fock_quadruple_reference(system, schwarz_tol=schwarz_tol,
                                         schwarz=schwarz if schwarz_tol > 0 else None)
     err = verify_fock(fock, expected)

@@ -6,6 +6,7 @@ The benchmark engine itself lives in :mod:`repro.workloads.minibude`;
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -18,7 +19,7 @@ from ...core.intrinsics import ceildiv
 from ...core.kernel import LaunchConfig
 from ...gpu.timing import TimingBreakdown
 from .deck import Deck
-from .kernel import fasten_kernel
+from .kernel import fasten_kernel, fasten_kernel_model
 from .reference import verify_energies
 
 __all__ = ["MiniBudeResult", "run_minibude", "run_fasten_functional",
@@ -61,20 +62,29 @@ def minibude_launch_config(nposes: int, ppwi: int, wgsize: int) -> LaunchConfig:
 
 
 def run_fasten_functional(deck: Deck, *, ppwi: int = 2, wgsize: int = 8,
-                          gpu: str = "h100",
-                          executor: str = "auto") -> Tuple[np.ndarray, float]:
+                          gpu: str = "h100", executor: str = "auto",
+                          streams: int = 1,
+                          pipeline_sink: Optional[dict] = None,
+                          ) -> Tuple[np.ndarray, float]:
     """Run the fasten device kernel through the functional simulator.
 
     Returns ``(energies, max_rel_error)`` after verifying against the
     vectorised reference.  Intended for reduced decks.  ``executor`` selects
-    the simulator mode (``"auto"`` is lockstep vectorized).
+    the simulator mode (``"auto"`` is lockstep vectorized); ``streams > 1``
+    distributes the deck uploads round-robin over that many H2D streams,
+    with the kernel event-ordered after every upload (identical numerics,
+    overlapped modelled pipeline).  *pipeline_sink*, when given, receives
+    the context's :class:`~repro.core.device.PipelineTiming` under
+    ``"pipeline"``.
     """
     launch = minibude_launch_config(deck.nposes, ppwi, wgsize)
     ctx = DeviceContext(gpu)
+    pool, compute = ctx.upload_pipeline(streams)
+    lanes = itertools.cycle(pool)
 
     def make_buffer(data, label):
         buf = ctx.enqueue_create_buffer(DType.float32, data.size, label=label)
-        buf.copy_from_host(data)
+        buf.copy_from_host(data, stream=next(lanes))
         return buf.tensor(bounds_check=False)
 
     protein = make_buffer(deck.protein_flat(), "protein")
@@ -84,13 +94,19 @@ def run_fasten_functional(deck: Deck, *, ppwi: int = 2, wgsize: int = 8,
     etot_buf = ctx.enqueue_create_buffer(DType.float32, deck.nposes, label="etotals")
     etotals = etot_buf.tensor(bounds_check=False)
 
+    ctx.fan_in(pool, compute, prefix="uploads")
     ctx.enqueue_function(
         fasten_kernel, ppwi, deck.natlig, deck.natpro, protein, ligand,
         *transforms, etotals, forcefield, deck.nposes,
         grid_dim=launch.grid_dim, block_dim=launch.block_dim, mode=executor,
+        model=fasten_kernel_model(ppwi=ppwi, natlig=deck.natlig,
+                                  natpro=deck.natpro, wgsize=wgsize),
+        stream=compute,
     )
     ctx.synchronize()
-    energies = etot_buf.copy_to_host()
+    energies = etot_buf.copy_to_host(stream=compute)
+    if pipeline_sink is not None:
+        pipeline_sink["pipeline"] = ctx.pipeline_breakdown()
     err = verify_energies(energies, deck)
     return energies, err
 

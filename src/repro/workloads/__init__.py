@@ -18,6 +18,7 @@ the figure experiments drive all kernels uniformly.
 from .base import (
     DEFAULT_PROTOCOL,
     EXECUTOR_MODES,
+    MAX_STREAMS,
     ParamSpec,
     RunRequest,
     Verification,
@@ -43,7 +44,7 @@ from .stencil import StencilWorkload
 
 __all__ = [
     "ParamSpec", "RunRequest", "Verification", "Workload", "WorkloadResult",
-    "DEFAULT_PROTOCOL", "EXECUTOR_MODES",
+    "DEFAULT_PROTOCOL", "EXECUTOR_MODES", "MAX_STREAMS",
     "register_workload", "unregister_workload", "get_workload",
     "list_workloads",
     "StencilWorkload", "BabelStreamWorkload", "MiniBudeWorkload",

@@ -56,14 +56,17 @@ class BabelStreamWorkload(Workload):
             warmup=request.protocol.warmup,
             jitter=p["jitter"], seed=p["seed"],
             fast_math=request.fast_math, executor=request.executor,
+            streams=request.streams,
         )
-        result = bench.run(verify=request.verify)
+        sink: dict = {}
+        result = bench.run(verify=request.verify, pipeline_sink=sink)
 
         metrics = {f"{op}_gbs": result.bandwidths_gbs[op]
                    for op in BABELSTREAM_OPS}
         metrics["kernel_time_ms"] = sum(result.kernel_times_ms.values())
         max_err = (max(result.verification_errors.values())
                    if result.verification_errors else float("nan"))
+        timing = self._timing_with_pipeline(dict(result.timings), sink)
         return WorkloadResult(
             request=request,
             metrics=metrics,
@@ -71,7 +74,7 @@ class BabelStreamWorkload(Workload):
             verification=Verification(ran=result.verified,
                                       passed=result.verified,
                                       max_rel_error=max_err),
-            timing=dict(result.timings),
+            timing=timing,
             samples={f"{op}_gbs": list(result.samples_gbs[op])
                      for op in BABELSTREAM_OPS},
             provenance=build_provenance(request, sampling=self.sampling),

@@ -34,6 +34,7 @@ __all__ = [
     "Workload",
     "DEFAULT_PROTOCOL",
     "EXECUTOR_MODES",
+    "MAX_STREAMS",
 ]
 
 #: measurement protocol used when a request does not specify one
@@ -43,6 +44,10 @@ DEFAULT_PROTOCOL = MeasurementProtocol(warmup=1, repeats=5)
 #: (the default) picks the lockstep vectorized engine for vector-safe
 #: kernels and preserves the scalar behaviour for everything else
 EXECUTOR_MODES = ("auto", "vectorized", "sequential", "cooperative")
+
+#: upper bound on the per-request device-stream count (a real queue would
+#: accept more, but beyond this the simulated pipelines gain nothing)
+MAX_STREAMS = 64
 
 
 @dataclass(frozen=True)
@@ -156,6 +161,9 @@ class RunRequest:
     #: :data:`EXECUTOR_MODES`); ``"auto"`` keeps today's behaviour for
     #: kernels that are not vector-safe and lockstep for the ones that are
     executor: str = "auto"
+    #: device streams the verification pipeline uses (``1``: everything on
+    #: the default stream; more overlap the modelled H2D/compute/D2H lanes)
+    streams: int = 1
 
     def __post_init__(self):
         # Freeze the parameter mapping (the dataclass itself is frozen, but a
@@ -167,6 +175,22 @@ class RunRequest:
                 f"unknown executor mode {self.executor!r}; expected one of "
                 f"{EXECUTOR_MODES}"
             )
+        try:
+            streams = int(self.streams)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"streams must be an integer >= 1, got {self.streams!r}"
+            ) from None
+        if isinstance(self.streams, float) and self.streams != streams:
+            raise ConfigurationError(
+                f"streams must be an integer >= 1, got {self.streams!r}"
+            )
+        if not 1 <= streams <= MAX_STREAMS:
+            raise ConfigurationError(
+                f"streams must be between 1 and {MAX_STREAMS}, "
+                f"got {self.streams!r}"
+            )
+        object.__setattr__(self, "streams", streams)
 
     def __hash__(self):
         # explicit hash: the generated one would choke on the params
@@ -174,7 +198,8 @@ class RunRequest:
         # mappings produce equal sorted item tuples.
         return hash((self.workload, self.gpu, self.backend, self.precision,
                      tuple(sorted(self.params.items())), self.protocol,
-                     self.fast_math, self.verify, self.executor))
+                     self.fast_math, self.verify, self.executor,
+                     self.streams))
 
     def replace(self, **changes) -> "RunRequest":
         """A copy of this request with the given fields replaced."""
@@ -201,6 +226,7 @@ class RunRequest:
             "fast_math": self.fast_math,
             "verify": self.verify,
             "executor": self.executor,
+            "streams": self.streams,
         }
 
 
@@ -391,6 +417,22 @@ class Workload:
             "params": [spec.describe() for spec in self.params],
         }
 
+    # ------------------------------------------------------------------ timing
+    @staticmethod
+    def _timing_with_pipeline(timing: Dict[str, object],
+                              sink: Mapping[str, object]) -> Dict[str, object]:
+        """Attach the verification pipeline breakdown captured in *sink*.
+
+        Adapters pass a ``pipeline_sink`` dict into their bench engine; when
+        verification ran, it holds the device context's overlap-aware
+        :class:`~repro.core.device.PipelineTiming` under ``"pipeline"``,
+        exported uniformly as the ``"verify_pipeline"`` timing entry.
+        """
+        pipeline = sink.get("pipeline")
+        if pipeline is not None:
+            timing["verify_pipeline"] = pipeline
+        return timing
+
     # --------------------------------------------------------------- protocol
     def reference(self, **params):
         """Host reference computation (NumPy), for small problem sizes."""
@@ -423,14 +465,30 @@ class Workload:
         try:
             return self._run(request)
         except VerificationError as exc:
-            # Re-run without verification so the folded result still carries
-            # the workload's full metric/sample/timing payload — consumers
-            # reading non-primary metrics must not crash on a verification
-            # failure.
-            result = self._run(request.replace(verify=False))
-            result.request = request
-            result.verification = Verification(
-                ran=True, passed=False,
-                max_rel_error=getattr(exc, "max_rel_error", None),
-                detail=str(exc))
-            return result
+            return self._fold_verification_failure(request, exc)
+
+    async def run_async(self, request: RunRequest) -> WorkloadResult:
+        """Asynchronous façade over :meth:`run`.
+
+        The run executes on a worker thread (``asyncio.to_thread``) so an
+        event loop can multiplex many requests concurrently; every run
+        builds its own :class:`~repro.core.device.DeviceContext` and stream
+        set, so concurrent requests share no mutable device state.
+        """
+        import asyncio
+
+        return await asyncio.to_thread(self.run, request)
+
+    def _fold_verification_failure(self, request: RunRequest,
+                                   exc: VerificationError) -> WorkloadResult:
+        # Re-run without verification so the folded result still carries
+        # the workload's full metric/sample/timing payload — consumers
+        # reading non-primary metrics must not crash on a verification
+        # failure.
+        result = self._run(request.replace(verify=False))
+        result.request = request
+        result.verification = Verification(
+            ran=True, passed=False,
+            max_rel_error=getattr(exc, "max_rel_error", None),
+            detail=str(exc))
+        return result

@@ -6,6 +6,8 @@ The benchmark engine (:func:`bench_hartreefock`) lives here; the legacy
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..backends import get_backend
 from ..gpu.specs import get_gpu
 from ..kernels.hartreefock.basis import make_helium_system
@@ -42,6 +44,8 @@ def bench_hartreefock(
     verify_natoms: int = 4,
     fast_math: bool = False,
     executor: str = "auto",
+    streams: int = 1,
+    pipeline_sink: Optional[dict] = None,
 ) -> HartreeFockResult:
     """Benchmark one Hartree–Fock configuration (Table 4).
 
@@ -57,7 +61,8 @@ def bench_hartreefock(
     max_rel_error = float("nan")
     if verify:
         _, max_rel_error = run_hartreefock_functional(
-            verify_natoms, ngauss, gpu=gpu, executor=executor)
+            verify_natoms, ngauss, gpu=gpu, executor=executor,
+            streams=streams, pipeline_sink=pipeline_sink)
         verified = True
 
     system = make_helium_system(natoms, ngauss, spacing=spacing)
@@ -123,13 +128,16 @@ class HartreeFockWorkload(Workload):
 
     def _run(self, request: RunRequest) -> WorkloadResult:
         p = request.params
+        sink: dict = {}
         result = bench_hartreefock(
             natoms=p["natoms"], ngauss=p["ngauss"], backend=request.backend,
             gpu=request.gpu, block_size=p["block_size"], spacing=p["spacing"],
             schwarz_tol=p["schwarz_tol"], verify=request.verify,
             verify_natoms=p["verify_natoms"], fast_math=request.fast_math,
             executor=request.executor,
+            streams=request.streams, pipeline_sink=sink,
         )
+        timing = self._timing_with_pipeline({"kernel": result.timing}, sink)
         return WorkloadResult(
             request=request,
             metrics={
@@ -141,7 +149,7 @@ class HartreeFockWorkload(Workload):
             verification=Verification(ran=result.verified,
                                       passed=result.verified,
                                       max_rel_error=result.max_rel_error),
-            timing={"kernel": result.timing},
+            timing=timing,
             provenance=build_provenance(request, sampling=self.sampling),
             raw=result,
         )

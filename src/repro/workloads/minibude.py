@@ -38,12 +38,16 @@ def bench_minibude(
     verify_poses: int = 64,
     seed: int = 2025,
     executor: str = "auto",
+    streams: int = 1,
+    pipeline_sink: Optional[dict] = None,
 ) -> MiniBudeResult:
     """Benchmark one miniBUDE configuration (bm1 by default).
 
     Functional verification runs the device kernel on a reduced deck; the
     reported GFLOP/s for the requested configuration comes from Eq. 3 applied
-    to the modelled kernel time.
+    to the modelled kernel time.  ``streams``/``pipeline_sink`` shape the
+    verification pipeline (see
+    :func:`~repro.kernels.minibude.runner.run_fasten_functional`).
     """
     spec = get_gpu(gpu)
     be = get_backend(backend)
@@ -58,7 +62,7 @@ def bench_minibude(
                           nposes=verify_poses, seed=seed, name="verify")
         _, max_rel_error = run_fasten_functional(
             small, ppwi=min(ppwi, 2), wgsize=min(wgsize, 8), gpu=gpu,
-            executor=executor)
+            executor=executor, streams=streams, pipeline_sink=pipeline_sink)
         verified = True
 
     model = fasten_kernel_model(ppwi=ppwi, natlig=full_deck.natlig,
@@ -125,13 +129,16 @@ class MiniBudeWorkload(Workload):
 
     def _run(self, request: RunRequest) -> WorkloadResult:
         p = request.params
+        sink: dict = {}
         result = bench_minibude(
             ppwi=p["ppwi"], wgsize=p["wgsize"], nposes=p["nposes"],
             backend=request.backend, gpu=request.gpu,
             fast_math=request.fast_math, verify=request.verify,
             verify_poses=p["verify_poses"], seed=p["seed"],
             executor=request.executor,
+            streams=request.streams, pipeline_sink=sink,
         )
+        timing = self._timing_with_pipeline({"kernel": result.timing}, sink)
         return WorkloadResult(
             request=request,
             metrics={
@@ -142,7 +149,7 @@ class MiniBudeWorkload(Workload):
             verification=Verification(ran=result.verified,
                                       passed=result.verified,
                                       max_rel_error=result.max_rel_error),
-            timing={"kernel": result.timing},
+            timing=timing,
             provenance=build_provenance(request, sampling=self.sampling),
             raw=result,
         )

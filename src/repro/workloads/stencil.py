@@ -6,7 +6,7 @@ The benchmark engine (:func:`bench_stencil`) lives here; the legacy
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -42,6 +42,8 @@ def bench_stencil(
     verify: bool = True,
     fast_math: bool = False,
     executor: str = "auto",
+    streams: int = 1,
+    pipeline_sink: Optional[dict] = None,
 ) -> StencilResult:
     """Benchmark one stencil configuration.
 
@@ -50,6 +52,8 @@ def bench_stencil(
     ``L`` comes from the backend timing model, evaluated per Eq. 1.  The
     ``iterations``/``jitter`` parameters produce the per-run samples that give
     Figure 3 its measurement spread (seeded, hence reproducible).
+    ``streams``/``pipeline_sink`` shape the verification pipeline (see
+    :func:`~repro.kernels.stencil.runner.verify_stencil_kernel`).
     """
     spec = get_gpu(gpu)
     be = get_backend(backend)
@@ -60,7 +64,9 @@ def bench_stencil(
         verify_l = min(L, FUNCTIONAL_VERIFY_MAX_L)
         max_rel_error = verify_stencil_kernel(verify_l, precision, gpu,
                                               block_shape=(8, 4, 4),
-                                              executor=executor)
+                                              executor=executor,
+                                              streams=streams,
+                                              pipeline_sink=pipeline_sink)
         verified = True
 
     model = stencil_kernel_model(L=L, precision=precision)
@@ -121,13 +127,16 @@ class StencilWorkload(Workload):
     def _run(self, request: RunRequest) -> WorkloadResult:
         p = request.params
         proto = request.protocol
+        sink: dict = {}
         result = bench_stencil(
             L=p["L"], precision=request.precision, backend=request.backend,
             gpu=request.gpu, block_shape=p["block_shape"],
             iterations=proto.repeats + proto.warmup, warmup=proto.warmup,
             jitter=p["jitter"], seed=p["seed"], verify=request.verify,
             fast_math=request.fast_math, executor=request.executor,
+            streams=request.streams, pipeline_sink=sink,
         )
+        timing = self._timing_with_pipeline({"kernel": result.timing}, sink)
         return WorkloadResult(
             request=request,
             metrics={
@@ -139,7 +148,7 @@ class StencilWorkload(Workload):
             verification=Verification(ran=result.verified,
                                       passed=result.verified,
                                       max_rel_error=result.max_rel_error),
-            timing={"kernel": result.timing},
+            timing=timing,
             samples={"bandwidth_gbs": list(result.samples_gbs)},
             provenance=build_provenance(request, sampling=self.sampling),
             raw=result,

@@ -125,6 +125,20 @@ class TestRepoBaseline:
         vectorized = stats["test_bench_vectorized_executor_stencil"]["min"]
         assert sequential >= 10.0 * vectorized
 
+    def test_graph_replay_baseline_beats_reenqueue_2x(self):
+        """ISSUE-4 acceptance: replaying a captured device graph is at least
+        2x faster than re-enqueueing the same sweep point from scratch.
+
+        Like the 10x executor guard above, this compares the two committed
+        baselines (measured together in one `bench-compare --update` run),
+        so the assertion is machine-independent."""
+        import os
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        stats = load_stats(os.path.join(root, "benchmarks", "baseline.json"))
+        reenqueue = stats["test_bench_graph_reenqueue_stencil_point"]["min"]
+        replay = stats["test_bench_graph_replay_stencil_point"]["min"]
+        assert reenqueue >= 2.0 * replay
+
 
 class TestDegenerateBaseline:
     def test_zero_baseline_min_is_informational_not_a_crash(self):

@@ -152,6 +152,22 @@ class TestBenchCommand:
         assert payload["table"]["columns"][0] == "workload"
         assert len(payload["table"]["rows"]) == 1
 
+    def test_streams_flag_reaches_the_request(self, capsys):
+        code = main(["bench", "stencil", "--param", "L=64", "--streams", "3",
+                     "--no-verify", "--no-cache", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["request"]["streams"] == 3
+
+    def test_streams_flag_default_is_one(self):
+        args = build_parser().parse_args(["bench", "stencil"])
+        assert args.streams == 1
+
+    def test_invalid_streams_is_clean_error(self, capsys):
+        code = main(["bench", "stencil", "--streams", "0", "--no-cache"])
+        assert code == 2
+        assert "streams" in capsys.readouterr().err
+
     def test_verified_bench_exits_zero(self, capsys):
         code = main(["bench", "hartreefock", "--param", "natoms=16",
                      "--repeats", "2", "--json"])
