@@ -223,6 +223,86 @@ def test_bench_graph_replay_stencil_point(benchmark):
     assert np.any(result != 0.0)
 
 
+def _stencil_launch_fixture(L, block_shape):
+    """Executor inputs for an L^3 stencil at an arbitrary block shape."""
+    from repro.core.layout import Layout, LayoutTensor
+
+    problem = StencilProblem(L, "float64")
+    u_host = problem.initial_field()
+    args = problem.inverse_spacing_squared
+    layout = Layout.row_major(L, L, L)
+    u = LayoutTensor(DType.float64, layout, u_host.reshape(-1).copy(),
+                     mut=False, bounds_check=False)
+    f_store = np.zeros(L ** 3)
+    f = LayoutTensor(DType.float64, layout, f_store, bounds_check=False)
+    launch = stencil_launch_config(L, block_shape)
+    return f_store, (f, u, L, L, L, *args), launch
+
+
+#: the ISSUE-5 guard scenario: a 64^3 grid, where the workload's untuned
+#: default (512, 1, 1) slab launch covers each x-row with a 8x oversized
+#: block — 2.1M simulated lanes against the tuned geometry's 262k
+_TUNED_GUARD_L = 64
+
+
+def _tuned_stencil_block():
+    """The block shape `repro tune stencil --param L=64` discovers.
+
+    Found by a seeded (hence deterministic) search against an in-memory
+    database, exactly as the CLI would; memoised for the benchmark pair.
+    """
+    global _TUNED_BLOCK
+    if _TUNED_BLOCK is None:
+        from repro.tuning import Tuner, TuningDB
+        from repro.workloads import get_workload
+
+        wl = get_workload("stencil")
+        request = wl.make_request(params={"L": _TUNED_GUARD_L}, verify=False)
+        outcome = Tuner(wl, request, db=TuningDB(disk_dir=None),
+                        budget=16).search()
+        _TUNED_BLOCK = outcome.best.config.params["block_shape"]
+    return _TUNED_BLOCK
+
+
+_TUNED_BLOCK = None
+
+
+def test_bench_untuned_stencil_launch(benchmark):
+    """Functional execution of the guard grid at the untuned default launch.
+
+    Paired with ``test_bench_tuned_stencil_launch``: the committed
+    baselines must show the tuned geometry at least 1.2x faster (guarded
+    in test_benchcheck.py) — the wall-clock counterpart of the modelled
+    speedup ``bench stencil --tuned`` reports.
+    """
+    executor = KernelExecutor()
+    f_store, args, launch = _stencil_launch_fixture(_TUNED_GUARD_L,
+                                                    (512, 1, 1))
+
+    def run():
+        f_store[:] = 0.0
+        executor.launch(laplacian_kernel, args, launch, mode="vectorized")
+        return f_store
+
+    result = benchmark(run)
+    assert np.any(result != 0.0)
+
+
+def test_bench_tuned_stencil_launch(benchmark):
+    """The same grid at the geometry the tuner discovers for it."""
+    executor = KernelExecutor()
+    f_store, args, launch = _stencil_launch_fixture(_TUNED_GUARD_L,
+                                                    _tuned_stencil_block())
+
+    def run():
+        f_store[:] = 0.0
+        executor.launch(laplacian_kernel, args, launch, mode="vectorized")
+        return f_store
+
+    result = benchmark(run)
+    assert np.any(result != 0.0)
+
+
 def test_bench_vectorized_babelstream_dot(benchmark):
     """Lockstep per-block execution of the barrier/shared-memory Dot kernel."""
     from repro.core.layout import Layout, LayoutTensor

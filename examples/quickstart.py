@@ -140,6 +140,25 @@ def main() -> None:
           f"(verified={result.verification.passed}, max rel error "
           f"{'n/a' if err is None else format(err, '.1e')})")
 
+    # 4. Autotuning: search the launch space once (candidates pruned by the
+    #    occupancy/roofline models, the rest measured under a budget), then
+    #    let tune="search"/"cached" requests start from the stored winner.
+    #    An in-memory database keeps the example from writing .repro_tune/;
+    #    the CLI equivalent (`python -m repro tune stencil --param L=64`)
+    #    persists winners across processes.
+    from repro.tuning import Tuner, TuningDB
+
+    tune_request = stencil.make_request(gpu="h100", backend="mojo",
+                                        params={"L": 64}, verify=False)
+    outcome = Tuner(stencil, tune_request, db=TuningDB(disk_dir=None),
+                    budget=16).search()
+    best = outcome.best
+    print(f"\ntuned stencil L=64: {best.config.label()} — "
+          f"{best.measured_ms:.4f} ms vs untuned "
+          f"{outcome.baseline.measured_ms:.4f} ms "
+          f"({outcome.speedup:.2f}x, {len(outcome.prune.pruned)} of "
+          f"{outcome.prune.space_size} candidates pruned unmeasured)")
+
 
 if __name__ == "__main__":
     main()

@@ -32,7 +32,7 @@ from .core import (
 from .backends import get_backend, list_backends, vendor_baseline_for
 from .gpu import GPUSpec, Roofline, get_gpu, list_gpus
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import workloads
 from .workloads import (

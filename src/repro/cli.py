@@ -17,9 +17,17 @@ Subcommands
     default), so repeating an identical invocation is near-free;
     ``--no-cache`` bypasses it and ``--executor`` selects the
     functional-simulator mode.
+``tune <workload>``
+    Search the workload's launch space (block shapes, work-group sizes,
+    fast-math) for one request and persist the winner in the tuning
+    database (``.repro_tune/`` by default).  Candidates are pruned by the
+    occupancy/roofline models before measurement; a repeated invocation is
+    a database hit and runs no search.  ``bench --tuned`` then applies the
+    stored winner.
 ``report``
     Regenerate experiment reports as one markdown document (the
-    ``EXPERIMENTS.md`` the result modules reference).
+    ``EXPERIMENTS.md`` the result modules reference), ending with the
+    tuned-vs-untuned portability section (``--no-tuning`` skips it).
 ``bench-compare``
     Guard the host-execution microbenchmarks against performance
     regressions: compare a pytest-benchmark export (running the benchmarks
@@ -109,6 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default 1; N>1 gives transfers/compute their own "
                           "modelled timeline lanes so independent transfers "
                           "overlap — numerics are identical)")
+    b_p.add_argument("--tuned", action="store_true",
+                     help="apply the tuning database's remembered launch "
+                          "configuration for this request (tune='cached'; "
+                          "a database miss runs untuned — use the 'tune' "
+                          "command to search and persist a winner first)")
+    b_p.add_argument("--tune-dir", default=None, metavar="PATH",
+                     help="tuning-database location consulted by --tuned "
+                          "(default .repro_tune/)")
     b_p.add_argument("--no-cache", action="store_true",
                      help="bypass the request-level result cache (use when "
                           "iterating on workload code: cached results — "
@@ -123,6 +139,41 @@ def build_parser() -> argparse.ArgumentParser:
     fmt.add_argument("--markdown", action="store_true",
                      help="emit a markdown table instead of plain text")
 
+    t_p = sub.add_parser(
+        "tune",
+        help="search a workload's launch space and persist the winner")
+    t_p.add_argument("workload", help="registered workload name "
+                                      "(see 'workloads')")
+    t_p.add_argument("--gpu", default="h100", help="simulated GPU (default h100)")
+    t_p.add_argument("--backend", default="mojo",
+                     help="backend/toolchain (default mojo)")
+    t_p.add_argument("--precision", default=None,
+                     help="float32/float64 (default: the workload's)")
+    t_p.add_argument("--param", action="append", default=[], metavar="K=V",
+                     help="workload parameter override (repeatable); "
+                          "overrides of tuned knobs only seed the baseline")
+    t_p.add_argument("--budget", type=int, default=16,
+                     help="maximum measured configurations, baseline "
+                          "included (default 16)")
+    t_p.add_argument("--strategy", default="auto",
+                     choices=["auto", "exhaustive", "random"],
+                     help="search strategy (default auto: exhaustive when "
+                          "the pruned space fits the budget, seeded "
+                          "random + hill-climb otherwise)")
+    t_p.add_argument("--seed", type=int, default=2025,
+                     help="RNG seed for the random strategy (default 2025)")
+    t_p.add_argument("--no-prune", action="store_true",
+                     help="skip the occupancy/roofline pruning pass and "
+                          "consider every feasible candidate")
+    t_p.add_argument("--force", action="store_true",
+                     help="search even when the database already holds a "
+                          "record for this problem")
+    t_p.add_argument("--tune-dir", default=None, metavar="PATH",
+                     help="tuning-database location (default .repro_tune/)")
+    t_p.add_argument("--json", action="store_true",
+                     help="emit the search outcome (or the database hit) "
+                          "as JSON")
+
     rep_p = sub.add_parser(
         "report",
         help="render experiment reports as one markdown document")
@@ -133,6 +184,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of stdout")
     rep_p.add_argument("--full", action="store_true",
                        help="run the full (non-quick) parameter sweeps")
+    rep_p.add_argument("--no-tuning", action="store_true",
+                       help="skip the tuned-vs-untuned portability section")
 
     bench_p = sub.add_parser(
         "bench-compare",
@@ -264,6 +317,12 @@ def _cmd_bench(args) -> int:
     from .workloads import get_workload
     from .workloads.cache import DEFAULT_CACHE_DIR, ResultCache, run_cached
 
+    if args.tune_dir and not args.tuned:
+        raise ConfigurationError("--tune-dir only applies with --tuned")
+    if args.tuned and args.tune_dir:
+        from .tuning import configure_tuning_db
+
+        configure_tuning_db(disk_dir=args.tune_dir)
     workload = get_workload(args.workload)
     request = workload.make_request(
         gpu=args.gpu, backend=args.backend, precision=args.precision,
@@ -272,10 +331,16 @@ def _cmd_bench(args) -> int:
                                      repeats=args.repeats),
         fast_math=args.fast_math, verify=not args.no_verify,
         executor=args.executor, streams=args.streams,
+        tune="cached" if args.tuned else "off",
     )
     cache_note = "disabled (--no-cache)"
     if args.no_cache:
         result = workload.run(request)
+    elif args.tuned:
+        # Tuned results depend on the mutable tuning database, so the
+        # request-level result cache does not memoise them (see run_cached).
+        result = run_cached(request)
+        cache_note = "bypassed (tuned request)"
     else:
         # A disk-backed cache keyed by the frozen request makes repeated
         # identical bench invocations near-free across processes.  The cache
@@ -314,12 +379,96 @@ def _cmd_bench(args) -> int:
             print(f"verification: {status}, max rel error {err}")
         else:
             print("verification: skipped (--no-verify)")
+        tuning = result.provenance.get("tuning")
+        if tuning is not None:
+            if tuning.get("applied"):
+                knobs = {**tuning["config"]["params"],
+                         **tuning["config"]["fields"]}
+                applied = " ".join(f"{k}={v}" for k, v in knobs.items())
+                print(f"tuning: applied {applied} "
+                      f"({tuning['speedup']:.2f}x over untuned)")
+            else:
+                print(f"tuning: not applied ({tuning.get('reason', '?')}) — "
+                      "run 'repro tune' to search and persist a winner")
         print(f"result cache: {cache_note}")
     return 0 if (not result.verification.ran
                  or result.verification.passed) else 1
 
 
-def _cmd_report(ids: List[str], *, write: Optional[str], full: bool) -> int:
+def _cmd_tune(args) -> int:
+    from .tuning import DEFAULT_TUNE_DIR, Tuner, TuningDB
+    from .workloads import get_workload
+
+    workload = get_workload(args.workload)
+    request = workload.make_request(
+        gpu=args.gpu, backend=args.backend, precision=args.precision,
+        params=_parse_param_overrides(args.param), verify=False,
+    )
+    space = workload.tuning_space(request)
+    if space is None:
+        print(f"tune: workload {workload.name!r} declares no tuning space",
+              file=sys.stderr)
+        return 2
+    db = TuningDB(disk_dir=args.tune_dir or DEFAULT_TUNE_DIR)
+    key = db.key_for(request, space)
+
+    record = None if args.force else db.get(request, space)
+    if record is not None:
+        # Database hit: the problem is already tuned, no search runs.
+        if args.json:
+            print(json.dumps({"source": "db-hit", "key": key,
+                              "record": record.as_dict()},
+                             indent=2, default=str))
+        else:
+            print(f"tuning db: hit for {workload.name} on {request.gpu}/"
+                  f"{request.backend} (key {key}) — no search")
+            print(f"  best: {record.config.label()}")
+            print(f"  measured {record.score_ms:.4g} ms vs untuned "
+                  f"{record.baseline_ms:.4g} ms "
+                  f"({record.speedup:.2f}x speedup)")
+            print(f"  found by {record.strategy} search, budget "
+                  f"{record.budget}, {record.measured} measured of "
+                  f"{record.space_size} candidates ({record.pruned} pruned)")
+        return 0
+
+    outcome = Tuner(workload, request, space=space, db=db,
+                    budget=args.budget, strategy=args.strategy,
+                    seed=args.seed, prune=not args.no_prune).search()
+    if outcome.record is None:
+        print("tune: no candidate survived measurement", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({"source": "search", "key": outcome.db_key,
+                          **outcome.as_dict()}, indent=2, default=str))
+        return 0
+    report = outcome.prune
+    print(f"tuned {workload.name} on {request.gpu}/{request.backend} "
+          f"[{request.precision}]")
+    print(f"  space: {report.space_size} candidates, {len(report.pruned)} "
+          f"pruned by the occupancy/roofline models "
+          f"({100 * report.pruned_fraction:.0f}%)")
+    print(f"  search: {outcome.strategy}, budget {outcome.budget}, "
+          f"{len(outcome.evaluations)} measured")
+    print(f"  best: {outcome.best.config.label()}")
+    print(f"  measured {outcome.best.measured_ms:.4g} ms vs untuned "
+          f"{outcome.baseline.measured_ms:.4g} ms "
+          f"({outcome.speedup:.2f}x speedup)")
+    print(f"  stored as {outcome.db_key} in "
+          f"{args.tune_dir or DEFAULT_TUNE_DIR}")
+    print("\n  modelled vs measured ranking:")
+    print(f"  {'config':42s} {'modelled ms':>12s} {'measured ms':>12s} "
+          f"{'source':>8s}")
+    for e in outcome.ranking():
+        modelled = f"{e.modelled_ms:.5f}" if e.modelled_ms != float("inf") \
+            else "-"
+        measured = f"{e.measured_ms:.5f}" if e.ok else "failed"
+        print(f"  {e.config.label():42s} {modelled:>12s} {measured:>12s} "
+              f"{e.source:>8s}")
+    return 0
+
+
+def _cmd_report(ids: List[str], *, write: Optional[str], full: bool,
+                tuning: bool = True) -> int:
     if not ids or any(i.lower() == "all" for i in ids):
         wanted = list_experiments()
     else:
@@ -349,6 +498,11 @@ def _cmd_report(ids: List[str], *, write: Optional[str], full: bool) -> int:
     for result in results:
         lines.append("")
         lines.append(result.to_markdown())
+    if tuning:
+        from .tuning.report import tuning_report
+
+        lines.append("")
+        lines.append(tuning_report().to_markdown())
     document = "\n".join(lines) + "\n"
 
     if write:
@@ -364,7 +518,7 @@ def _cmd_report(ids: List[str], *, write: Optional[str], full: bool) -> int:
 #: ``bench-compare --quick`` (the executor/dispatch/graph-launch
 #: microbenchmarks — the paths substrate changes regress first — while the
 #: multi-second reference benches stay out of the tier-1 flow)
-QUICK_BENCH_EXPR = "executor or dispatch or vectorized or graph"
+QUICK_BENCH_EXPR = "executor or dispatch or vectorized or graph or tuned"
 
 
 def _run_host_benchmarks(bench_file: str, *, quick: bool = False,
@@ -524,8 +678,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             # already folded into the result by Workload.run)
             print(f"bench: {exc}", file=sys.stderr)
             return 2
+    if args.command == "tune":
+        try:
+            return _cmd_tune(args)
+        except ReproError as exc:
+            print(f"tune: {exc}", file=sys.stderr)
+            return 2
     if args.command == "report":
-        return _cmd_report(args.ids, write=args.write, full=args.full)
+        return _cmd_report(args.ids, write=args.write, full=args.full,
+                           tuning=not args.no_tuning)
     if args.command == "bench-compare":
         return _cmd_bench_compare(baseline=args.baseline, current=args.current,
                                   threshold=args.threshold, update=args.update,

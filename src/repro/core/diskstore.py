@@ -1,0 +1,107 @@
+"""Shared helpers for the on-disk JSON stores (result cache, tuning DB).
+
+Both persistent stores — ``.repro_cache/`` (request-level result cache) and
+``.repro_tune/`` (tuning database) — are directories of small JSON files
+written through on every miss.  Left alone they grow without bound across
+sweeps and CLI invocations, so each store calls
+:func:`prune_dir_to_budget` after a write: entries are evicted
+oldest-modified-first until the directory fits its byte budget again.
+
+The helper is deliberately conservative: it only ever touches files matching
+the store's own suffix, it never removes the entry that was just written
+(the newest file), and every filesystem error is swallowed — a cache prune
+must never break the run that triggered it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Tuple
+
+__all__ = ["dir_size_bytes", "prune_dir_to_budget", "read_json_entry",
+           "write_json_entry"]
+
+
+def _entries(path: str, suffix: str) -> List[Tuple[float, int, str]]:
+    """(mtime, size, full_path) for every regular *suffix* file in *path*."""
+    entries = []
+    try:
+        names = os.listdir(path)
+    except OSError:
+        return entries
+    for name in names:
+        if not name.endswith(suffix):
+            continue
+        full = os.path.join(path, name)
+        try:
+            st = os.stat(full)
+        except OSError:
+            continue
+        entries.append((st.st_mtime, st.st_size, full))
+    return entries
+
+
+def dir_size_bytes(path: str, *, suffix: str = ".json") -> int:
+    """Total size of the store's entries (files ending in *suffix*)."""
+    return sum(size for _, size, _ in _entries(path, suffix))
+
+
+def read_json_entry(path: str) -> Optional[dict]:
+    """One store entry's JSON payload, or None when absent/corrupt.
+
+    Corruption (a torn write, a truncated file) reads as a miss, never an
+    error — both stores treat their disk layer as best-effort.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def write_json_entry(path: str, payload: dict, max_bytes: int) -> bool:
+    """Write one store entry, then prune its directory to *max_bytes*.
+
+    Creates the parent directory on demand; a read-only or full filesystem
+    makes this a no-op (returns False) rather than an error, matching the
+    stores' best-effort disk contract.
+    """
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, default=str)
+    except OSError:  # pragma: no cover - read-only / full filesystem
+        return False
+    prune_dir_to_budget(os.path.dirname(path), max_bytes)
+    return True
+
+
+def prune_dir_to_budget(path: str, max_bytes: int, *,
+                        suffix: str = ".json") -> int:
+    """Evict oldest entries from *path* until it fits *max_bytes*.
+
+    Returns the number of files removed.  Eviction order is by modification
+    time (oldest first); the newest entry always survives, even when it is
+    alone larger than the budget, so the write that triggered the prune is
+    never undone.  ``max_bytes <= 0`` disables pruning entirely.
+    """
+    if max_bytes is None or max_bytes <= 0:
+        return 0
+    entries = _entries(path, suffix)
+    total = sum(size for _, size, _ in entries)
+    if total <= max_bytes or len(entries) <= 1:
+        return 0
+    entries.sort()  # oldest first
+    removed = 0
+    for mtime, size, full in entries[:-1]:  # newest entry is exempt
+        if total <= max_bytes:
+            break
+        try:
+            os.unlink(full)
+        except OSError:  # pragma: no cover - raced or read-only store
+            continue
+        total -= size
+        removed += 1
+    return removed

@@ -1,0 +1,204 @@
+"""Tuning spaces: the launch/execution knobs a workload exposes to the tuner.
+
+A :class:`TuningSpace` is the cartesian product of :class:`TuningKnob` value
+lists, optionally filtered by a constraint predicate.  Knobs come in two
+kinds: ``"param"`` knobs override entries of the workload's ``params``
+mapping (block shapes, work-group sizes) and ``"field"`` knobs override
+first-class :class:`~repro.workloads.base.RunRequest` fields (``fast_math``,
+``streams``).  A :class:`TuningConfig` is one point of the space — a frozen
+pair of override mappings that :meth:`TuningConfig.apply` merges into a
+request.
+
+Each workload adapter declares its space via
+:meth:`repro.workloads.base.Workload.tuning_space`; everything else in the
+tuning subsystem (pruning, search, the database) is workload-agnostic and
+works purely on spaces and configs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["TuningKnob", "TuningConfig", "TuningSpace"]
+
+
+def _freeze(value: object) -> object:
+    """Hashable form of a knob value (lists become tuples)."""
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+@dataclass(frozen=True)
+class TuningKnob:
+    """One tunable dimension: a named, ordered list of candidate values.
+
+    ``kind`` selects where the value lands when a config is applied:
+    ``"param"`` into the request's workload params, ``"field"`` onto the
+    request itself (``fast_math``, ``streams``, ``executor``).  Value order
+    matters: the hill-climb strategy treats adjacent values as neighbours.
+    """
+
+    name: str
+    values: Tuple[object, ...]
+    kind: str = "param"
+
+    def __post_init__(self):
+        if self.kind not in ("param", "field"):
+            raise ConfigurationError(
+                f"knob {self.name!r} has unknown kind {self.kind!r}; "
+                "expected 'param' or 'field'"
+            )
+        if not self.values:
+            raise ConfigurationError(f"knob {self.name!r} has no values")
+        object.__setattr__(self, "values",
+                           tuple(_freeze(v) for v in self.values))
+
+
+@dataclass(frozen=True)
+class TuningConfig:
+    """One candidate configuration: frozen param and field overrides."""
+
+    #: workload-param overrides, as a sorted item tuple (hashable)
+    param_items: Tuple[Tuple[str, object], ...]
+    #: request-field overrides, as a sorted item tuple (hashable)
+    field_items: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, params: Optional[Mapping[str, object]] = None,
+             fields: Optional[Mapping[str, object]] = None) -> "TuningConfig":
+        return cls(
+            param_items=tuple(sorted((k, _freeze(v))
+                                     for k, v in (params or {}).items())),
+            field_items=tuple(sorted((k, _freeze(v))
+                                     for k, v in (fields or {}).items())),
+        )
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return dict(self.param_items)
+
+    @property
+    def fields(self) -> Dict[str, object]:
+        return dict(self.field_items)
+
+    def value(self, name: str, default: object = None) -> object:
+        """Look a knob value up by name, params first."""
+        for k, v in self.param_items + self.field_items:
+            if k == name:
+                return v
+        return default
+
+    def apply(self, request):
+        """A copy of *request* with this config's overrides merged in."""
+        tuned = request.with_params(**self.params)
+        if self.field_items:
+            tuned = tuned.replace(**self.fields)
+        return tuned
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"params": self.params, "fields": self.fields}
+
+    def label(self) -> str:
+        """Compact human-readable form, e.g. ``block_shape=(4,4,4) fast_math=True``."""
+        parts = [f"{k}={v}" for k, v in self.param_items + self.field_items]
+        return " ".join(parts) or "<default>"
+
+
+class TuningSpace:
+    """Cartesian product of tuning knobs with an optional constraint."""
+
+    def __init__(self, knobs: Sequence[TuningKnob],
+                 constraint: Optional[Callable[[Mapping[str, object]], bool]] = None):
+        if not knobs:
+            raise ConfigurationError("a tuning space needs at least one knob")
+        names = [k.name for k in knobs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate knob names in {names}")
+        self.knobs: Tuple[TuningKnob, ...] = tuple(knobs)
+        self.constraint = constraint
+
+    # ------------------------------------------------------------ enumeration
+    @property
+    def size(self) -> int:
+        """Number of candidate configurations (constraint applied)."""
+        if self.constraint is None:
+            size = 1
+            for knob in self.knobs:
+                size *= len(knob.values)
+            return size
+        return sum(1 for _ in self.candidates())
+
+    def candidates(self) -> Iterator[TuningConfig]:
+        """Yield every configuration of the space, in knob-declaration order."""
+        for combo in itertools.product(*(k.values for k in self.knobs)):
+            values = dict(zip((k.name for k in self.knobs), combo))
+            if self.constraint is not None and not self.constraint(values):
+                continue
+            yield self._config(values)
+
+    def _config(self, values: Mapping[str, object]) -> TuningConfig:
+        params = {k.name: values[k.name] for k in self.knobs
+                  if k.kind == "param"}
+        fields = {k.name: values[k.name] for k in self.knobs
+                  if k.kind == "field"}
+        return TuningConfig.make(params, fields)
+
+    # ------------------------------------------------------------- structure
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(k.name for k in self.knobs if k.kind == "param")
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(k.name for k in self.knobs if k.kind == "field")
+
+    def baseline(self, request) -> TuningConfig:
+        """The untuned point of the space: the request's current values.
+
+        Field knobs read the request attribute; param knobs the validated
+        params mapping.  The baseline need not be a member of the knobs'
+        value lists — it is whatever the request would run as-is.
+        """
+        params = {}
+        fields = {}
+        for knob in self.knobs:
+            if knob.kind == "param":
+                params[knob.name] = request.params.get(knob.name)
+            else:
+                fields[knob.name] = getattr(request, knob.name)
+        return TuningConfig.make(params, fields)
+
+    def neighbors(self, config: TuningConfig) -> List[TuningConfig]:
+        """One-knob moves to adjacent values (the hill-climb neighbourhood)."""
+        values = {**config.params, **config.fields}
+        out: List[TuningConfig] = []
+        for knob in self.knobs:
+            current = _freeze(values.get(knob.name))
+            try:
+                idx = knob.values.index(current)
+            except ValueError:
+                # Baseline values may sit outside the knob's list; every
+                # listed value is then a neighbour of it.
+                candidates = knob.values
+            else:
+                candidates = tuple(knob.values[i] for i in (idx - 1, idx + 1)
+                                   if 0 <= i < len(knob.values))
+            for value in candidates:
+                if value == current:
+                    continue
+                moved = dict(values)
+                moved[knob.name] = value
+                if self.constraint is not None and not self.constraint(moved):
+                    continue
+                out.append(self._config(moved))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(len(k.values)) for k in self.knobs)
+        return (f"TuningSpace({', '.join(k.name for k in self.knobs)}; "
+                f"{dims} = {self.size} candidates)")

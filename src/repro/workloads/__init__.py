@@ -19,6 +19,7 @@ from .base import (
     DEFAULT_PROTOCOL,
     EXECUTOR_MODES,
     MAX_STREAMS,
+    TUNE_MODES,
     ParamSpec,
     RunRequest,
     Verification,
@@ -44,7 +45,7 @@ from .stencil import StencilWorkload
 
 __all__ = [
     "ParamSpec", "RunRequest", "Verification", "Workload", "WorkloadResult",
-    "DEFAULT_PROTOCOL", "EXECUTOR_MODES", "MAX_STREAMS",
+    "DEFAULT_PROTOCOL", "EXECUTOR_MODES", "MAX_STREAMS", "TUNE_MODES",
     "register_workload", "unregister_workload", "get_workload",
     "list_workloads",
     "StencilWorkload", "BabelStreamWorkload", "MiniBudeWorkload",

@@ -37,6 +37,70 @@ class BabelStreamWorkload(Workload):
         ParamSpec("seed", int, 2025, "RNG seed for the sample noise"),
     )
 
+    #: thread-block sizes the tuner may try (the streaming kernels are 1-D)
+    TUNING_TB_SIZES = (32, 64, 128, 256, 512, 1024)
+
+    #: vector length of the reduced capture/replay probe
+    TUNING_PROBE_N = 1 << 12
+
+    def tuning_space(self, request: RunRequest):
+        """Launch knobs: thread-block size and the fast-math lowering."""
+        from ..tuning.space import TuningKnob, TuningSpace
+
+        return TuningSpace((
+            TuningKnob("tb_size", self.TUNING_TB_SIZES),
+            TuningKnob("fast_math", (False, True), kind="field"),
+        ))
+
+    def tuning_model(self, request: RunRequest):
+        """Triad (the primary metric's kernel) model + launch for the pruner."""
+        from ..core.kernel import LaunchConfig
+        from ..kernels.babelstream.kernels import babelstream_kernel_model
+
+        p = self.validate_params(request.params)
+        model = babelstream_kernel_model("triad", n=p["n"],
+                                         precision=request.precision,
+                                         tb_size=p["tb_size"])
+        return model, LaunchConfig.for_elements(p["n"], p["tb_size"])
+
+    def tuning_probe(self, request: RunRequest):
+        """Capture one Triad launch on a reduced vector length."""
+        from ..core.device import DeviceContext
+        from ..core.dtypes import dtype_from_any
+        from ..core.kernel import LaunchConfig
+        from ..kernels.babelstream.kernels import (
+            SCALAR,
+            START_A,
+            START_B,
+            START_C,
+            babelstream_kernel_model,
+            triad_kernel,
+        )
+
+        p = self.validate_params(request.params)
+        n = min(p["n"], self.TUNING_PROBE_N)
+        dtype = dtype_from_any(request.precision)
+        launch = LaunchConfig.for_elements(n, p["tb_size"])
+        ctx = DeviceContext(request.gpu)
+        a_buf = ctx.enqueue_create_buffer(dtype, n, label="a")
+        b_buf = ctx.enqueue_create_buffer(dtype, n, label="b")
+        c_buf = ctx.enqueue_create_buffer(dtype, n, label="c")
+        a, b, c = a_buf.tensor(), b_buf.tensor(), c_buf.tensor()
+        with ctx.capture(f"tune-{self.name}") as graph:
+            a_buf.fill(START_A)
+            b_buf.fill(START_B)
+            c_buf.fill(START_C)
+            ctx.enqueue_function(
+                triad_kernel, a, b, c, SCALAR, n,
+                grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+                mode=request.executor,
+                model=babelstream_kernel_model(
+                    "triad", n=n, precision=request.precision,
+                    tb_size=p["tb_size"]),
+            )
+            a_buf.copy_to_host()
+        return graph
+
     def reference(self, *, num_iterations: int = 2):
         """Scalar-replay expected values of a/b/c after *num_iterations*."""
         a, b, c = expected_values(num_iterations)

@@ -35,6 +35,7 @@ __all__ = [
     "DEFAULT_PROTOCOL",
     "EXECUTOR_MODES",
     "MAX_STREAMS",
+    "TUNE_MODES",
 ]
 
 #: measurement protocol used when a request does not specify one
@@ -48,6 +49,12 @@ EXECUTOR_MODES = ("auto", "vectorized", "sequential", "cooperative")
 #: upper bound on the per-request device-stream count (a real queue would
 #: accept more, but beyond this the simulated pipelines gain nothing)
 MAX_STREAMS = 64
+
+#: how a request interacts with the autotuning subsystem: ``"off"`` runs the
+#: request exactly as given, ``"cached"`` applies a remembered winner from
+#: the tuning database when one exists (a miss runs untuned), ``"search"``
+#: additionally runs a budgeted search on a miss and persists the result
+TUNE_MODES = ("off", "cached", "search")
 
 
 @dataclass(frozen=True)
@@ -164,6 +171,10 @@ class RunRequest:
     #: device streams the verification pipeline uses (``1``: everything on
     #: the default stream; more overlap the modelled H2D/compute/D2H lanes)
     streams: int = 1
+    #: autotuning mode (see :data:`TUNE_MODES`); anything but ``"off"``
+    #: lets the workload rewrite the launch knobs from the tuning database
+    #: before running
+    tune: str = "off"
 
     def __post_init__(self):
         # Freeze the parameter mapping (the dataclass itself is frozen, but a
@@ -174,6 +185,11 @@ class RunRequest:
             raise ConfigurationError(
                 f"unknown executor mode {self.executor!r}; expected one of "
                 f"{EXECUTOR_MODES}"
+            )
+        if self.tune not in TUNE_MODES:
+            raise ConfigurationError(
+                f"unknown tune mode {self.tune!r}; expected one of "
+                f"{TUNE_MODES}"
             )
         try:
             streams = int(self.streams)
@@ -199,7 +215,7 @@ class RunRequest:
         return hash((self.workload, self.gpu, self.backend, self.precision,
                      tuple(sorted(self.params.items())), self.protocol,
                      self.fast_math, self.verify, self.executor,
-                     self.streams))
+                     self.streams, self.tune))
 
     def replace(self, **changes) -> "RunRequest":
         """A copy of this request with the given fields replaced."""
@@ -227,6 +243,7 @@ class RunRequest:
             "verify": self.verify,
             "executor": self.executor,
             "streams": self.streams,
+            "tune": self.tune,
         }
 
 
@@ -433,6 +450,38 @@ class Workload:
             timing["verify_pipeline"] = pipeline
         return timing
 
+    # ----------------------------------------------------------------- tuning
+    def tuning_space(self, request: RunRequest):
+        """The workload's :class:`~repro.tuning.space.TuningSpace`, or None.
+
+        Adapters that expose launch knobs (block shapes, work-group sizes,
+        fast-math) override this; returning None (the default) makes the
+        workload opt out of autotuning — requests with ``tune != "off"``
+        then run untuned, with the reason recorded in provenance.
+        """
+        return None
+
+    def tuning_model(self, request: RunRequest):
+        """``(KernelModel, LaunchConfig)`` for *request*'s configuration.
+
+        The occupancy/roofline pruner scores candidates through this hook
+        without compiling or running anything.  Required whenever
+        :meth:`tuning_space` returns a space.
+        """
+        raise ConfigurationError(
+            f"workload {self.name!r} declares no tuning model"
+        )
+
+    def tuning_probe(self, request: RunRequest):
+        """A captured :class:`~repro.core.device.DeviceGraph` probe, or None.
+
+        When provided, the tuner functionally executes each measured
+        candidate at a reduced problem size — capture once, then
+        ``DeviceGraph.replay`` per repeat — so a winner is guaranteed to
+        actually launch on the simulator, not just score well analytically.
+        """
+        return None
+
     # --------------------------------------------------------------- protocol
     def reference(self, **params):
         """Host reference computation (NumPy), for small problem sizes."""
@@ -453,6 +502,11 @@ class Workload:
         propagated, so sweeps over many configurations always complete; the
         benchmark is re-run without verification so the folded result still
         has the full metric payload.
+
+        When ``request.tune`` is ``"cached"`` or ``"search"`` the launch
+        knobs are first rewritten from the tuning database (searching on a
+        miss in ``"search"`` mode); the result's request reflects what
+        actually ran and its provenance carries a ``"tuning"`` entry.
         """
         if request.workload not in (self.name, ""):
             raise ConfigurationError(
@@ -462,10 +516,20 @@ class Workload:
         self._check_precision(request.precision)
         request = request.replace(workload=self.name,
                                   params=self.validate_params(request.params))
+        tuning_info = None
+        if request.tune != "off":
+            from ..tuning import resolve_tuning
+
+            request, tuning_info = resolve_tuning(self, request)
+            request = request.replace(
+                params=self.validate_params(request.params))
         try:
-            return self._run(request)
+            result = self._run(request)
         except VerificationError as exc:
-            return self._fold_verification_failure(request, exc)
+            result = self._fold_verification_failure(request, exc)
+        if tuning_info is not None:
+            result.provenance["tuning"] = tuning_info
+        return result
 
     async def run_async(self, request: RunRequest) -> WorkloadResult:
         """Asynchronous façade over :meth:`run`.

@@ -25,6 +25,7 @@ cache's statistics, mirroring ``compile_cache_info`` / ``clear_compile_cache``.
 
 from __future__ import annotations
 
+import contextlib
 import copy
 import hashlib
 import json
@@ -37,11 +38,15 @@ from .base import RunRequest, Verification, WorkloadResult
 
 __all__ = ["ResultCache", "run_cached", "result_cache_info",
            "clear_result_cache", "configure_result_cache",
-           "DEFAULT_CACHE_DIR"]
+           "DEFAULT_CACHE_DIR", "DEFAULT_CACHE_DISK_BUDGET"]
 
 #: default on-disk store location (created lazily, only when disk caching
 #: is enabled)
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: byte budget for the on-disk store; oldest results beyond it are evicted
+#: (see :func:`repro.core.diskstore.prune_dir_to_budget`)
+DEFAULT_CACHE_DISK_BUDGET = 64 * 1024 * 1024
 
 #: schema tag stored with every disk entry; bump to invalidate old stores
 _DISK_SCHEMA = "repro.result-cache/v1"
@@ -56,14 +61,50 @@ class ResultCache:
     """
 
     def __init__(self, maxsize: int = 256,
-                 disk_dir: Optional[str] = None):
+                 disk_dir: Optional[str] = None,
+                 max_disk_bytes: int = DEFAULT_CACHE_DISK_BUDGET):
         self.maxsize = int(maxsize)
         self.disk_dir = disk_dir
+        self.max_disk_bytes = max_disk_bytes
         self._entries: "OrderedDict[RunRequest, WorkloadResult]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._disk_hits = 0
+        # per-request single-flight locks (see locked()); guarded by _lock
+        self._inflight: Dict[RunRequest, threading.Lock] = {}
+        self._inflight_refs: Dict[RunRequest, int] = {}
+
+    @contextlib.contextmanager
+    def locked(self, request: RunRequest):
+        """Serialise computations of one request (single-flight).
+
+        Concurrent callers of :func:`run_cached` — a threaded
+        ``Sweep.run_workload(workers=N)`` or the async
+        ``run_workload_async`` — may hold duplicate requests.  Without
+        coalescing, every duplicate misses and runs the workload
+        redundantly, and the sync sequential path (one miss, then hits) and
+        the concurrent paths (N misses) would disagree in their cache
+        accounting.  This lock keys on the request itself, so *distinct*
+        requests still run fully in parallel.
+        """
+        with self._lock:
+            lock = self._inflight.get(request)
+            if lock is None:
+                lock = threading.Lock()
+                self._inflight[request] = lock
+                self._inflight_refs[request] = 0
+            self._inflight_refs[request] += 1
+        lock.acquire()
+        try:
+            yield
+        finally:
+            lock.release()
+            with self._lock:
+                self._inflight_refs[request] -= 1
+                if self._inflight_refs[request] == 0:
+                    del self._inflight[request]
+                    del self._inflight_refs[request]
 
     # ------------------------------------------------------------------ keys
     @staticmethod
@@ -128,25 +169,19 @@ class ResultCache:
 
     # ----------------------------------------------------------------- disk
     def _disk_get(self, request: RunRequest) -> Optional[WorkloadResult]:
-        path = self._disk_path(request)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            return None
-        if payload.get("schema") != _DISK_SCHEMA:
+        from ..core.diskstore import read_json_entry
+
+        payload = read_json_entry(self._disk_path(request))
+        if payload is None or payload.get("schema") != _DISK_SCHEMA:
             return None
         return _result_from_export(request, payload["result"])
 
     def _disk_put(self, request: RunRequest, result: WorkloadResult) -> None:
-        path = self._disk_path(request)
-        try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            with open(path, "w", encoding="utf-8") as fh:
-                json.dump({"schema": _DISK_SCHEMA,
-                           "result": result.as_dict()}, fh, default=str)
-        except OSError:  # pragma: no cover - read-only / full filesystem
-            pass
+        from ..core.diskstore import write_json_entry
+
+        write_json_entry(self._disk_path(request),
+                         {"schema": _DISK_SCHEMA, "result": result.as_dict()},
+                         self.max_disk_bytes)
 
     # ------------------------------------------------------------ statistics
     def info(self) -> Dict[str, int]:
@@ -159,6 +194,7 @@ class ResultCache:
                 "maxsize": self.maxsize,
                 "disk_hits": self._disk_hits,
                 "disk_enabled": self.disk_dir is not None,
+                "max_disk_bytes": self.max_disk_bytes,
             }
 
     def clear(self) -> None:
@@ -224,24 +260,29 @@ _default_lock = threading.Lock()
 
 def configure_result_cache(*, maxsize: Optional[int] = None,
                            disk_dir: Optional[str] = None,
-                           disk: Optional[bool] = None) -> ResultCache:
+                           disk: Optional[bool] = None,
+                           max_disk_bytes: Optional[int] = None) -> ResultCache:
     """Replace the default cache's configuration.
 
     ``disk=True`` enables the on-disk store at *disk_dir* (default
-    ``.repro_cache/``); ``disk=False`` disables it.  Returns the (new)
-    default cache; existing entries and counters are dropped.
+    ``.repro_cache/``); ``disk=False`` disables it; ``max_disk_bytes``
+    bounds the store's size (oldest entries are evicted past it).  Returns
+    the (new) default cache; existing entries and counters are dropped.
     """
     global _default_cache
     with _default_lock:
         current = _default_cache
         new_maxsize = maxsize if maxsize is not None else current.maxsize
+        new_budget = max_disk_bytes if max_disk_bytes is not None \
+            else current.max_disk_bytes
         if disk is None:
             new_dir = disk_dir if disk_dir is not None else current.disk_dir
         elif disk:
             new_dir = disk_dir or current.disk_dir or DEFAULT_CACHE_DIR
         else:
             new_dir = None
-        _default_cache = ResultCache(maxsize=new_maxsize, disk_dir=new_dir)
+        _default_cache = ResultCache(maxsize=new_maxsize, disk_dir=new_dir,
+                                     max_disk_bytes=new_budget)
         return _default_cache
 
 
@@ -255,16 +296,29 @@ def run_cached(request: RunRequest, *,
     :class:`~repro.workloads.base.Workload` instance (required when it is
     not in the registry — e.g. an ad-hoc subclass driven through a sweep);
     otherwise the request's workload name is resolved through the registry.
+
+    Concurrent callers holding the *same* request coalesce into one run
+    (single-flight): exactly one computes and stores, the rest read the
+    stored result — so the hit/miss accounting is identical whether
+    duplicates arrive sequentially (``Sweep.run_workload``), on a thread
+    pool (``workers=N``) or through ``Sweep.run_workload_async``.
+
+    Requests with ``tune != "off"`` are **never memoised**: their outcome
+    depends on the mutable tuning database, and serving a result cached
+    before a better winner was found would silently pin the old launch.
     """
     from .registry import get_workload
 
     target = cache if cache is not None else _default_cache
-    result = target.get(request)
-    if result is not None:
-        return result
     wl = workload if workload is not None else get_workload(request.workload)
-    result = wl.run(request)
-    target.put(request, result)
+    if request.tune != "off":
+        return wl.run(request)
+    with target.locked(request):
+        result = target.get(request)
+        if result is not None:
+            return result
+        result = wl.run(request)
+        target.put(request, result)
     return result
 
 

@@ -114,6 +114,45 @@ class HartreeFockWorkload(Workload):
                   "system size for functional verification", minimum=1),
     )
 
+    #: thread-block sizes the tuner may try for the 1-D quadruple launch
+    TUNING_BLOCK_SIZES = (64, 128, 256, 512, 1024)
+
+    def tuning_space(self, request: RunRequest):
+        """Launch knobs: thread-block size and fast-math."""
+        from ..tuning.space import TuningKnob, TuningSpace
+
+        return TuningSpace((
+            TuningKnob("block_size", self.TUNING_BLOCK_SIZES),
+            TuningKnob("fast_math", (False, True), kind="field"),
+        ))
+
+    def tuning_model(self, request: RunRequest):
+        """ERI kernel model + launch for the pruner.
+
+        The system shape (quadruple count, Schwarz survival fraction) is
+        launch-independent, so it is memoised per problem configuration —
+        candidate scoring must not re-screen the system per block size.
+        """
+        p = self.validate_params(request.params)
+        key = (p["natoms"], p["ngauss"], p["spacing"], p["schwarz_tol"])
+        cache = self.__dict__.setdefault("_tuning_system_cache", {})
+        shape = cache.get(key)
+        if shape is None:
+            system = make_helium_system(p["natoms"], p["ngauss"],
+                                        spacing=p["spacing"])
+            schwarz = compute_schwarz(
+                system, approximate=p["natoms"] >= APPROX_SCHWARZ_NATOMS)
+            shape = (system.nquads,
+                     surviving_quadruple_fraction(schwarz, p["schwarz_tol"]))
+            if len(cache) > 8:
+                cache.clear()
+            cache[key] = shape
+        nquads, survivors = shape
+        model = hartree_fock_kernel_model(natoms=p["natoms"],
+                                          ngauss=p["ngauss"],
+                                          surviving_fraction=survivors)
+        return model, LaunchConfig.for_elements(nquads, p["block_size"])
+
     def reference(self, *, natoms: int = 4, ngauss: int = 3,
                   spacing: float = 2.5):
         """Batched-ERI reference Fock matrix for a small helium system."""

@@ -10,7 +10,14 @@ from typing import Optional
 
 from ..backends import get_backend
 from ..gpu.specs import get_gpu
-from ..kernels.minibude.deck import BM1_NPOSES, Deck, make_bm1, make_deck
+from ..kernels.minibude.deck import (
+    BM1_NATLIG,
+    BM1_NATPRO,
+    BM1_NPOSES,
+    Deck,
+    make_bm1,
+    make_deck,
+)
 from ..kernels.minibude.kernel import fasten_kernel_model
 from ..kernels.minibude.metrics import gflops
 from ..kernels.minibude.reference import reference_energies
@@ -110,6 +117,38 @@ class MiniBudeWorkload(Workload):
                   "poses in the reduced verification deck", minimum=1),
         ParamSpec("seed", int, 2025, "deck-generation seed"),
     )
+
+    #: poses-per-work-item candidates (the paper's Figures 6-7 sweep axis)
+    TUNING_PPWI = (1, 2, 4, 8, 16)
+    #: work-group size candidates (wg=8 vs wg=64 is the Figure 6 contrast)
+    TUNING_WGSIZE = (8, 16, 32, 64, 128, 256)
+
+    def tuning_space(self, request: RunRequest):
+        """Launch knobs: PPWI, work-group size and fast-math.
+
+        The constraint mirrors :func:`minibude_launch_config`: the pose
+        count must split evenly into poses-per-work-item.
+        """
+        from ..tuning.space import TuningKnob, TuningSpace
+
+        p = self.validate_params(request.params)
+        nposes = p["nposes"]
+        return TuningSpace(
+            (
+                TuningKnob("ppwi", self.TUNING_PPWI),
+                TuningKnob("wgsize", self.TUNING_WGSIZE),
+                TuningKnob("fast_math", (False, True), kind="field"),
+            ),
+            constraint=lambda cfg: nposes % int(cfg["ppwi"]) == 0,
+        )
+
+    def tuning_model(self, request: RunRequest):
+        """Fasten kernel model + launch for the pruner (bm1 deck shape)."""
+        p = self.validate_params(request.params)
+        model = fasten_kernel_model(ppwi=p["ppwi"], natlig=BM1_NATLIG,
+                                    natpro=BM1_NATPRO, wgsize=p["wgsize"])
+        return model, minibude_launch_config(p["nposes"], p["ppwi"],
+                                             p["wgsize"])
 
     def reference(self, *, natlig: int = 8, natpro: int = 32,
                   nposes: int = 64, seed: int = 2025):

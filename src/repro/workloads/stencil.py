@@ -112,6 +112,67 @@ class StencilWorkload(Workload):
         ParamSpec("seed", int, 2025, "RNG seed for the sample noise"),
     )
 
+    #: block-shape candidates the tuner may try; the two 2048-thread shapes
+    #: at the end exist to be rejected by the occupancy pruner (the device
+    #: caps blocks at 1024 threads) — they are never measured
+    TUNING_BLOCKS = (
+        (1024, 1, 1), (512, 1, 1), (256, 1, 1), (128, 1, 1), (64, 1, 1),
+        (32, 1, 1), (256, 2, 1), (128, 4, 1), (64, 4, 2), (32, 4, 2),
+        (16, 16, 1), (16, 8, 8), (8, 8, 8), (8, 8, 4), (8, 4, 4), (4, 4, 4),
+        (32, 8, 8), (64, 8, 4),
+    )
+
+    #: edge length of the reduced grid the capture/replay probe executes
+    TUNING_PROBE_L = 16
+
+    def tuning_space(self, request: RunRequest):
+        """Launch knobs: thread-block shape and the fast-math lowering."""
+        from ..tuning.space import TuningKnob, TuningSpace
+
+        return TuningSpace((
+            TuningKnob("block_shape", self.TUNING_BLOCKS),
+            TuningKnob("fast_math", (False, True), kind="field"),
+        ))
+
+    def tuning_model(self, request: RunRequest):
+        """Kernel model + launch for the pruner (no compile, no run)."""
+        p = self.validate_params(request.params)
+        model = stencil_kernel_model(L=p["L"], precision=request.precision)
+        return model, stencil_launch_config(p["L"], p["block_shape"])
+
+    def tuning_probe(self, request: RunRequest):
+        """Capture the H2D → kernel → D2H pipeline on a reduced grid."""
+        from ..core.device import DeviceContext
+        from ..core.layout import Layout
+        from ..kernels.stencil.kernel import laplacian_kernel
+
+        p = self.validate_params(request.params)
+        L = min(p["L"], self.TUNING_PROBE_L)
+        problem = StencilProblem(L, request.precision)
+        invhx2, invhy2, invhz2, invhxyz2 = problem.inverse_spacing_squared
+        u_host = problem.initial_field().reshape(-1)
+        layout = Layout.row_major(L, L, L)
+        launch = stencil_launch_config(L, p["block_shape"])
+
+        ctx = DeviceContext(request.gpu)
+        u_buf = ctx.enqueue_create_buffer(problem.dtype, problem.num_cells,
+                                          label="u")
+        f_buf = ctx.enqueue_create_buffer(problem.dtype, problem.num_cells,
+                                          label="f")
+        u = u_buf.tensor(layout, mut=False, bounds_check=False)
+        f = f_buf.tensor(layout, mut=True, bounds_check=False)
+        with ctx.capture(f"tune-{self.name}") as graph:
+            u_buf.copy_from_host(u_host)
+            ctx.enqueue_function(
+                laplacian_kernel, f, u, L, L, L,
+                invhx2, invhy2, invhz2, invhxyz2,
+                grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+                mode=request.executor,
+                model=stencil_kernel_model(L=L, precision=request.precision),
+            )
+            f_buf.copy_to_host()
+        return graph
+
     def reference(self, *, L: int = 32, precision: str = "float64"):
         """NumPy Laplacian of the standard initial field on an ``L^3`` grid."""
         problem = StencilProblem(L, precision)

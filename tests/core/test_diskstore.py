@@ -1,0 +1,92 @@
+"""Tests for the shared disk-store byte-budget helper."""
+
+import os
+
+from repro.core.diskstore import dir_size_bytes, prune_dir_to_budget
+
+
+def _write(path, name, nbytes, mtime):
+    full = os.path.join(path, name)
+    with open(full, "wb") as fh:
+        fh.write(b"x" * nbytes)
+    os.utime(full, (mtime, mtime))
+    return full
+
+
+class TestPrune:
+    def test_evicts_oldest_first(self, tmp_path):
+        path = str(tmp_path)
+        _write(path, "old.json", 100, 1_000)
+        _write(path, "mid.json", 100, 2_000)
+        _write(path, "new.json", 100, 3_000)
+        removed = prune_dir_to_budget(path, 250)
+        assert removed == 1
+        assert sorted(os.listdir(path)) == ["mid.json", "new.json"]
+
+    def test_newest_entry_survives_even_over_budget(self, tmp_path):
+        path = str(tmp_path)
+        _write(path, "old.json", 100, 1_000)
+        _write(path, "new.json", 500, 2_000)
+        prune_dir_to_budget(path, 50)
+        assert os.listdir(path) == ["new.json"]
+
+    def test_under_budget_is_a_no_op(self, tmp_path):
+        path = str(tmp_path)
+        _write(path, "a.json", 100, 1_000)
+        _write(path, "b.json", 100, 2_000)
+        assert prune_dir_to_budget(path, 1_000) == 0
+        assert len(os.listdir(path)) == 2
+
+    def test_non_positive_budget_disables(self, tmp_path):
+        path = str(tmp_path)
+        _write(path, "a.json", 100, 1_000)
+        _write(path, "b.json", 100, 2_000)
+        assert prune_dir_to_budget(path, 0) == 0
+        assert prune_dir_to_budget(path, -1) == 0
+        assert len(os.listdir(path)) == 2
+
+    def test_only_matching_suffix_touched(self, tmp_path):
+        path = str(tmp_path)
+        _write(path, "a.json", 100, 1_000)
+        _write(path, "b.json", 100, 2_000)
+        _write(path, "keep.txt", 10_000, 500)
+        prune_dir_to_budget(path, 150)
+        names = sorted(os.listdir(path))
+        assert "keep.txt" in names and "b.json" in names
+        assert "a.json" not in names
+
+    def test_missing_directory_is_harmless(self, tmp_path):
+        assert prune_dir_to_budget(str(tmp_path / "absent"), 100) == 0
+
+    def test_dir_size_counts_suffix_files_only(self, tmp_path):
+        path = str(tmp_path)
+        _write(path, "a.json", 100, 1_000)
+        _write(path, "b.txt", 50, 1_000)
+        assert dir_size_bytes(path) == 100
+
+
+class TestResultCacheBudget:
+    def test_result_cache_disk_store_respects_budget(self, tmp_path):
+        from repro.harness.runner import MeasurementProtocol
+        from repro.workloads import get_workload
+        from repro.workloads.cache import ResultCache, run_cached
+
+        wl = get_workload("stencil")
+        protocol = MeasurementProtocol(warmup=0, repeats=1)
+
+        def request(L):
+            return wl.make_request(params={"L": L}, verify=False,
+                                   protocol=protocol)
+
+        probe = ResultCache(disk_dir=str(tmp_path / "probe"))
+        run_cached(request(32), cache=probe, workload=wl)
+        results = tmp_path / "probe" / "results"
+        [entry] = list(results.iterdir())
+        size = entry.stat().st_size
+
+        cache = ResultCache(disk_dir=str(tmp_path / "store"),
+                            max_disk_bytes=int(size * 2.5))
+        for L in (16, 24, 32, 48, 64):
+            run_cached(request(L), cache=cache, workload=wl)
+        stored = list((tmp_path / "store" / "results").iterdir())
+        assert len(stored) <= 3

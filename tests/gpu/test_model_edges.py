@@ -1,0 +1,90 @@
+"""Edge cases of the occupancy/roofline models the tuning pruner relies on.
+
+The pruner (:mod:`repro.tuning.model`) never measures a candidate the
+models reject or score as hopeless, so these behaviours must stay pinned:
+oversized blocks raise, fractional warps are charged whole, zero-FLOP
+kernels sit on the memory roof, and dtype widths shift the roofline.
+"""
+
+import math
+
+import pytest
+
+from repro.core.dtypes import DType
+from repro.core.errors import ConfigurationError, LaunchError
+from repro.core.kernel import KernelModel
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.roofline import Roofline, RooflinePoint, classify_workload
+
+
+class TestOccupancyEdges:
+    def test_block_above_device_max_threads_raises(self, h100, mi300a):
+        for spec in (h100, mi300a):
+            with pytest.raises(LaunchError):
+                compute_occupancy(spec, spec.max_threads_per_block + 1)
+            # the exact limit is accepted
+            occ = compute_occupancy(spec, spec.max_threads_per_block)
+            assert occ.blocks_per_sm >= 1
+
+    def test_fractional_warps_charged_whole(self, h100):
+        # A 48-thread block occupies two 32-lane warps; the resident-warp
+        # count (the latency-hiding resource the pruner derates by) must
+        # reflect that, not the 1.5 warps of threads.
+        occ = compute_occupancy(h100, 48, 32)
+        assert occ.active_warps_per_sm == occ.blocks_per_sm * 2
+
+    def test_wavefront_width_changes_warp_charge(self, mi300a):
+        # The same 48-thread block is one 64-lane wavefront on AMD.
+        occ = compute_occupancy(mi300a, 48, 32)
+        assert occ.active_warps_per_sm == occ.blocks_per_sm * 1
+
+    def test_sub_wave_grid_reports_fractional_waves(self, h100):
+        occ = compute_occupancy(h100, 256, 32, num_blocks=h100.sm_count)
+        assert 0 < occ.waves < 1
+
+    def test_nonpositive_registers_treated_as_minimal(self, h100):
+        occ = compute_occupancy(h100, 256, registers_per_thread=0)
+        assert occ.blocks_per_sm > 0
+
+
+class TestRooflineEdges:
+    def test_zero_intensity_attains_zero(self):
+        # A kernel that does no FLOPs has no attainable FLOP rate; the
+        # pruner must score it purely by the memory term.
+        roofline = Roofline("h100")
+        assert roofline.attainable(0.0) == 0.0
+
+    def test_zero_flop_kernel_classifies_memory_bound(self):
+        roofline = Roofline("h100")
+        point = RooflinePoint(name="copy", arithmetic_intensity=1e-9,
+                              performance=1.0)
+        assert classify_workload(point, roofline) == "memory-bound"
+
+    def test_memory_only_kernel_model_has_zero_intensity(self):
+        model = KernelModel(name="copy", dtype=DType.float64,
+                            loads_global=1.0, stores_global=1.0, flops=0.0)
+        assert model.arithmetic_intensity() == 0.0
+        assert model.total_flops(1024) == 0.0
+
+    def test_zero_traffic_kernel_model_has_infinite_intensity(self):
+        model = KernelModel(name="pure", dtype=DType.float64,
+                            loads_global=0.0, stores_global=0.0, flops=8.0)
+        assert math.isinf(model.arithmetic_intensity())
+
+    def test_dtype_width_moves_ridge_point(self):
+        roofline = Roofline("h100")
+        # fp32 peak is 2x fp64 on H100, so its ridge sits at twice the
+        # intensity — a candidate memory-bound in fp64 can be memory-bound
+        # in fp32 at double the intensity.
+        assert roofline.ridge_point("float32") == pytest.approx(
+            2 * roofline.ridge_point("float64"))
+
+    def test_dtype_width_changes_model_bytes(self):
+        for dtype, width in ((DType.float32, 4), (DType.float64, 8)):
+            model = KernelModel(name="k", dtype=dtype, loads_global=2.0,
+                                stores_global=1.0, flops=1.0)
+            assert model.bytes_per_thread() == 3 * width
+
+    def test_unknown_precision_rejected(self, h100):
+        with pytest.raises(ConfigurationError):
+            h100.peak_flops("float128")

@@ -125,6 +125,23 @@ class TestRepoBaseline:
         vectorized = stats["test_bench_vectorized_executor_stencil"]["min"]
         assert sequential >= 10.0 * vectorized
 
+    def test_tuned_stencil_baseline_beats_untuned_1_2x(self):
+        """ISSUE-5 acceptance: the tuned launch geometry's recorded baseline
+        is at least 1.2x faster than the untuned default (512, 1, 1) launch
+        on the guard grid.
+
+        Like the other cross-baseline guards this compares two committed
+        baselines measured in one `bench-compare --update` run, so the
+        assertion is machine-independent.  The wall-clock ratio tracks the
+        modelled one because the functional simulator's cost scales with
+        launched lanes — exactly what the oversized default wastes."""
+        import os
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        stats = load_stats(os.path.join(root, "benchmarks", "baseline.json"))
+        untuned = stats["test_bench_untuned_stencil_launch"]["min"]
+        tuned = stats["test_bench_tuned_stencil_launch"]["min"]
+        assert untuned >= 1.2 * tuned
+
     def test_graph_replay_baseline_beats_reenqueue_2x(self):
         """ISSUE-4 acceptance: replaying a captured device graph is at least
         2x faster than re-enqueueing the same sweep point from scratch.

@@ -230,6 +230,106 @@ class TestReportCommand:
         assert main(["report", "all", "--write", str(target)]) == 0
         assert "wrote 10 experiment report" in capsys.readouterr().out
 
+    def test_document_ends_with_tuned_portability_section(self, tmp_path):
+        target = tmp_path / "tuned.md"
+        assert main(["report", "fig5", "--write", str(target)]) == 0
+        document = target.read_text()
+        assert "## Tuned performance portability" in document
+        assert "Φ (all)" in document
+
+    def test_no_tuning_skips_the_section(self, tmp_path):
+        target = tmp_path / "plain.md"
+        assert main(["report", "fig5", "--no-tuning",
+                     "--write", str(target)]) == 0
+        assert "Tuned performance portability" not in target.read_text()
+
+
+class TestTuneCommand:
+    GUARD = ["--param", "L=64"]
+
+    def _tune(self, tmp_path, *extra):
+        return main(["tune", "stencil", "--gpu", "h100", "--backend", "mojo",
+                     "--budget", "16", "--tune-dir", str(tmp_path),
+                     *self.GUARD, *extra])
+
+    def test_parser_accepts_tune_options(self):
+        args = build_parser().parse_args(
+            ["tune", "stencil", "--budget", "8", "--strategy", "random",
+             "--seed", "3", "--force", "--no-prune", "--json",
+             "--tune-dir", "/tmp/t"])
+        assert args.command == "tune" and args.budget == 8
+        assert args.strategy == "random" and args.force and args.no_prune
+
+    def test_search_persists_then_second_invocation_is_a_db_hit(
+            self, tmp_path, capsys):
+        """ISSUE-5 acceptance: tune persists a record; repeating the exact
+        invocation is a database hit that runs no search."""
+        assert self._tune(tmp_path) == 0
+        first = capsys.readouterr().out
+        assert "pruned by the occupancy/roofline models" in first
+        assert "modelled vs measured ranking" in first
+        assert (tmp_path / "records").exists()
+
+        assert self._tune(tmp_path) == 0
+        second = capsys.readouterr().out
+        assert "tuning db: hit" in second and "no search" in second
+        assert "ranking" not in second  # no search output
+
+    def test_force_searches_despite_hit(self, tmp_path, capsys):
+        assert self._tune(tmp_path) == 0
+        capsys.readouterr()
+        assert self._tune(tmp_path, "--force") == 0
+        assert "modelled vs measured ranking" in capsys.readouterr().out
+
+    def test_json_output_schema(self, tmp_path, capsys):
+        assert self._tune(tmp_path, "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "search"
+        assert payload["prune"]["pruned"] >= 1
+        assert payload["best"]["measured_ms"] > 0
+        assert payload["speedup"] >= 1.2
+        # DB hit payload carries the persisted record
+        assert self._tune(tmp_path, "--json") == 0
+        hit = json.loads(capsys.readouterr().out)
+        assert hit["source"] == "db-hit"
+        assert hit["record"]["config"] == payload["best"]["config"]
+
+    def test_unknown_workload_is_clean_error(self, tmp_path, capsys):
+        assert main(["tune", "warpfield", "--tune-dir", str(tmp_path)]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_bench_tuned_applies_persisted_winner(self, tmp_path, capsys):
+        from repro.tuning import configure_tuning_db
+
+        assert self._tune(tmp_path) == 0
+        capsys.readouterr()
+        try:
+            argv = ["bench", "stencil", "--param", "L=64", "--no-verify",
+                    "--tuned", "--tune-dir", str(tmp_path)]
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert "tuning: applied" in out and "block_shape=" in out
+            assert "result cache: bypassed (tuned request)" in out
+        finally:
+            configure_tuning_db(disk=False)
+
+    def test_bench_tuned_miss_reports_untuned_run(self, tmp_path, capsys):
+        from repro.tuning import configure_tuning_db
+
+        try:
+            argv = ["bench", "stencil", "--param", "L=48", "--no-verify",
+                    "--tuned", "--tune-dir", str(tmp_path)]
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert "tuning: not applied (db-miss)" in out
+        finally:
+            configure_tuning_db(disk=False)
+
+    def test_tune_dir_without_tuned_rejected(self, capsys):
+        assert main(["bench", "stencil", "--tune-dir", "/tmp/x"]) == 2
+        assert "--tune-dir only applies with --tuned" in \
+            capsys.readouterr().err
+
 
 class TestBenchCompare:
     @staticmethod

@@ -20,7 +20,7 @@ from repro.core.kernel import KernelModel, LaunchConfig
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_public_names_importable(self):
         for name in repro.__all__:

@@ -1,0 +1,136 @@
+"""Tests for the occupancy/roofline candidate pruner.
+
+These pin the model behaviours the pruner relies on — infeasible launches
+rejected outright, zero-FLOP kernels scored by the memory roof alone, dtype
+widths respected — alongside the pruning pass itself.
+"""
+
+import math
+
+import pytest
+
+from repro.core.dtypes import DType
+from repro.core.kernel import KernelModel, LaunchConfig, MemoryPattern
+from repro.tuning.model import (
+    DEFAULT_KEEP_RATIO,
+    estimate_candidate,
+    prune_space,
+)
+from repro.tuning.space import TuningConfig
+from repro.workloads import get_workload
+
+
+def _model(**overrides):
+    base = dict(name="probe", dtype=DType.float64, loads_global=2.0,
+                stores_global=1.0, flops=4.0)
+    base.update(overrides)
+    return KernelModel(**base)
+
+
+def _cfg():
+    return TuningConfig.make({"block": 256})
+
+
+class TestEstimate:
+    def test_feasible_candidate_gets_finite_cost(self):
+        est = estimate_candidate("h100", _model(),
+                                 LaunchConfig.for_elements(1 << 20, 256),
+                                 _cfg())
+        assert est.feasible and math.isfinite(est.modelled_ms)
+        assert est.modelled_ms > 0
+        assert 0 < est.occupancy <= 1.0
+
+    def test_block_beyond_device_limit_is_infeasible(self):
+        # 2048-thread blocks exceed every simulated device's 1024 cap; the
+        # occupancy model rejects them and the pruner must never measure one.
+        from repro.core.intrinsics import Dim3
+
+        est = estimate_candidate("h100", _model(),
+                                 LaunchConfig.for_elements(4096, 1024),
+                                 _cfg())
+        assert est.feasible  # 1024 itself is fine
+        oversized = LaunchConfig(Dim3.make(2), Dim3.make((2048, 1, 1)))
+        est = estimate_candidate("h100", _model(), oversized, _cfg())
+        assert not est.feasible
+        assert math.isinf(est.modelled_ms)
+        assert "2048" in est.reason
+
+    def test_shared_memory_over_block_budget_is_infeasible(self):
+        model = _model(uses_shared=True,
+                       shared_bytes_per_block=1 << 20)  # 1 MiB > any budget
+        est = estimate_candidate("h100", model,
+                                 LaunchConfig.for_elements(4096, 256), _cfg())
+        assert not est.feasible and "shared memory" in est.reason
+
+    def test_zero_flop_memory_only_kernel_scores_on_memory_roof(self):
+        # BabelStream Copy: no FLOPs at all.  The roofline compute term must
+        # drop out instead of dividing by zero, and the candidate must be
+        # memory-bound with a finite positive cost.
+        model = _model(flops=0.0)
+        est = estimate_candidate("h100", model,
+                                 LaunchConfig.for_elements(1 << 20, 256),
+                                 _cfg())
+        assert est.feasible and est.bound == "memory"
+        assert math.isfinite(est.modelled_ms) and est.modelled_ms > 0
+
+    def test_dtype_width_doubles_memory_cost(self):
+        from repro.gpu.specs import get_gpu
+
+        launch = LaunchConfig.for_elements(1 << 22, 256)
+        wide = estimate_candidate("h100", _model(flops=0.0), launch, _cfg())
+        narrow = estimate_candidate("h100",
+                                    _model(flops=0.0, dtype=DType.float32),
+                                    launch, _cfg())
+        # fp64 moves exactly twice the bytes; strip the launch overhead
+        # (identical in both) to compare the memory terms alone.
+        overhead_ms = get_gpu("h100").launch_overhead_us * 1e-3
+        assert wide.modelled_ms - overhead_ms == pytest.approx(
+            2 * (narrow.modelled_ms - overhead_ms), rel=1e-9)
+
+    def test_atomic_heavy_kernel_is_atomic_bound(self):
+        model = _model(flops=1.0, atomics=64.0)
+        est = estimate_candidate("h100", model,
+                                 LaunchConfig.for_elements(1 << 20, 256),
+                                 _cfg())
+        assert est.bound == "atomic"
+
+    def test_partial_wave_penalised(self):
+        # A grid that fills the device 1.05 waves deep wastes most of its
+        # second wave; the same work split into full waves must score better
+        # per byte.  Compare equal-traffic launches.
+        model = _model(flops=0.0, active_fraction=1.0)
+        full = estimate_candidate("h100", model,
+                                  LaunchConfig.for_elements(1 << 24, 128),
+                                  _cfg())
+        assert full.feasible
+        assert full.waves > 1
+
+
+class TestPruneSpace:
+    def test_prunes_infeasible_and_hopeless_candidates(self):
+        wl = get_workload("stencil")
+        request = wl.make_request(params={"L": 64}, verify=False)
+        report = prune_space(wl, request, wl.tuning_space(request))
+        assert report.space_size == 36
+        # the two 2048-thread block shapes (x2 fast-math) are infeasible...
+        infeasible = [e for e in report.estimates if not e.feasible]
+        assert len(infeasible) == 4
+        # ...and the heavily oversubscribed 1-D slabs are model-pruned, so
+        # at least a quarter of the space is never measured.
+        assert report.pruned_fraction >= 0.25
+        assert report.keep_ratio == DEFAULT_KEEP_RATIO
+
+    def test_kept_candidates_sorted_best_first(self):
+        wl = get_workload("stencil")
+        request = wl.make_request(params={"L": 64}, verify=False)
+        report = prune_space(wl, request, wl.tuning_space(request))
+        costs = [e.modelled_ms for e in report.kept]
+        assert costs == sorted(costs)
+
+    def test_disabled_pruning_keeps_every_feasible_candidate(self):
+        wl = get_workload("stencil")
+        request = wl.make_request(params={"L": 64}, verify=False)
+        report = prune_space(wl, request, wl.tuning_space(request),
+                             enabled=False)
+        assert len(report.kept) == 32  # 36 minus the 4 infeasible
+        assert all(not e.feasible for e in report.pruned)

@@ -1,0 +1,139 @@
+"""Tests for tuning spaces, knobs and configurations."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.tuning.space import TuningConfig, TuningKnob, TuningSpace
+from repro.workloads import get_workload
+
+
+def _space():
+    return TuningSpace((
+        TuningKnob("block", ((64, 1, 1), (128, 1, 1), (256, 1, 1))),
+        TuningKnob("fast_math", (False, True), kind="field"),
+    ))
+
+
+class TestKnob:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TuningKnob("k", (1, 2), kind="global")
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TuningKnob("k", ())
+
+    def test_list_values_become_hashable_tuples(self):
+        knob = TuningKnob("block", ([8, 4, 4], [4, 4, 4]))
+        assert knob.values == ((8, 4, 4), (4, 4, 4))
+
+
+class TestConfig:
+    def test_hashable_and_equal_by_value(self):
+        a = TuningConfig.make({"block": (64, 1, 1)}, {"fast_math": True})
+        b = TuningConfig.make({"block": (64, 1, 1)}, {"fast_math": True})
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_apply_merges_params_and_fields(self):
+        wl = get_workload("stencil")
+        request = wl.make_request(params={"L": 32}, verify=False)
+        config = TuningConfig.make({"block_shape": (8, 4, 4)},
+                                   {"fast_math": True})
+        tuned = config.apply(request)
+        assert tuned.params["block_shape"] == (8, 4, 4)
+        assert tuned.params["L"] == 32  # untouched
+        assert tuned.fast_math is True
+
+    def test_label_is_compact(self):
+        config = TuningConfig.make({"wgsize": 64}, {"fast_math": False})
+        assert config.label() == "wgsize=64 fast_math=False"
+
+
+class TestSpace:
+    def test_size_is_product(self):
+        assert _space().size == 6
+
+    def test_candidates_split_kinds(self):
+        configs = list(_space().candidates())
+        assert len(configs) == 6
+        assert all(set(c.params) == {"block"} for c in configs)
+        assert all(set(c.fields) == {"fast_math"} for c in configs)
+
+    def test_constraint_filters(self):
+        space = TuningSpace(
+            (TuningKnob("ppwi", (1, 2, 3)),),
+            constraint=lambda cfg: 6 % cfg["ppwi"] == 0,
+        )
+        assert space.size == 3
+        space = TuningSpace(
+            (TuningKnob("ppwi", (1, 2, 4)),),
+            constraint=lambda cfg: 6 % cfg["ppwi"] == 0,
+        )
+        assert [c.params["ppwi"] for c in space.candidates()] == [1, 2]
+
+    def test_duplicate_knob_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TuningSpace((TuningKnob("k", (1,)), TuningKnob("k", (2,))))
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TuningSpace(())
+
+    def test_baseline_reads_request_values(self):
+        wl = get_workload("stencil")
+        request = wl.make_request(params={"L": 32}, fast_math=True,
+                                  verify=False)
+        baseline = wl.tuning_space(request).baseline(request)
+        assert baseline.params["block_shape"] == (512, 1, 1)
+        assert baseline.fields["fast_math"] is True
+
+    def test_neighbors_move_one_knob_to_adjacent_values(self):
+        space = _space()
+        config = TuningConfig.make({"block": (128, 1, 1)},
+                                   {"fast_math": False})
+        moved = space.neighbors(config)
+        labels = {c.label() for c in moved}
+        assert "block=(64, 1, 1) fast_math=False" in labels
+        assert "block=(256, 1, 1) fast_math=False" in labels
+        assert "block=(128, 1, 1) fast_math=True" in labels
+        assert len(moved) == 3
+
+    def test_neighbors_of_off_list_baseline_span_the_knob(self):
+        space = _space()
+        config = TuningConfig.make({"block": (512, 1, 1)},
+                                   {"fast_math": False})
+        moved = space.neighbors(config)
+        blocks = {c.params["block"] for c in moved}
+        # every listed block value is reachable from the off-list baseline
+        # (the remaining move is the fast_math toggle, block unchanged)
+        assert {(64, 1, 1), (128, 1, 1), (256, 1, 1)} <= blocks
+
+
+class TestWorkloadSpaces:
+    """Every adapter declares a coherent space."""
+
+    @pytest.mark.parametrize("name", ["stencil", "babelstream", "minibude",
+                                      "hartreefock"])
+    def test_space_declared_and_model_buildable(self, name):
+        wl = get_workload(name)
+        request = wl.make_request(verify=False)
+        space = wl.tuning_space(request)
+        assert space is not None and space.size > 1
+        model, launch = wl.tuning_model(request)
+        assert launch.total_threads > 0
+        assert model.dtype.name == request.precision
+
+    def test_minibude_constraint_respects_pose_divisibility(self):
+        wl = get_workload("minibude")
+        request = wl.make_request(params={"nposes": 24}, verify=False)
+        space = wl.tuning_space(request)
+        ppwis = {c.params["ppwi"] for c in space.candidates()}
+        assert ppwis == {1, 2, 4, 8}  # 16 does not divide 24
+
+    def test_probe_declared_for_memory_bound_workloads(self):
+        for name in ("stencil", "babelstream"):
+            wl = get_workload(name)
+            request = wl.make_request(verify=False)
+            graph = wl.tuning_probe(request)
+            assert graph is not None and graph.num_kernels == 1

@@ -64,7 +64,8 @@ class TestMemoryCache:
         info = result_cache_info()
         assert info == {"hits": 0, "misses": 0, "size": 0,
                         "maxsize": info["maxsize"], "disk_hits": 0,
-                        "disk_enabled": False}
+                        "disk_enabled": False,
+                        "max_disk_bytes": info["max_disk_bytes"]}
 
     def test_lru_eviction(self):
         cache = ResultCache(maxsize=2)

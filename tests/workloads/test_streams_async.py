@@ -124,3 +124,95 @@ class TestAsyncFacade:
         info = result_cache_info()
         assert info["hits"] >= 1
         clear_result_cache()
+
+
+class TestAsyncCacheParity:
+    """ISSUE-5 satellite: the async sweep path must show the same result-
+    cache hit/miss behaviour and accounting as the sync path.
+
+    The historical divergence was duplicate sweep points: run sequentially
+    they cost one workload run (miss) plus hits, but run concurrently —
+    async workers or a thread pool — every duplicate missed *before* any
+    of them stored, so the workload ran redundantly and the counters
+    disagreed with the sync path.  ``run_cached`` now single-flights
+    identical requests, making the accounting identical everywhere.
+    """
+
+    class _Counting:
+        """Wraps the stencil workload, counting real _run invocations."""
+
+        def __init__(self):
+            import threading
+
+            from repro.workloads import get_workload
+
+            self._inner = get_workload("stencil")
+            self.runs = 0
+            self._lock = threading.Lock()
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+        def run(self, request):
+            with self._lock:
+                self.runs += 1
+            return self._inner.run(request)
+
+    @staticmethod
+    def _duplicate_sweep():
+        # Sweep.add does not deduplicate values, so [20, 20, 20] yields
+        # three identical configurations — i.e. three identical requests.
+        return sweep(L=[20, 20, 20])
+
+    def _drive(self, mode):
+        from repro.workloads.cache import ResultCache, run_cached
+
+        cache = ResultCache()
+        workload = self._Counting()
+        runner = lambda r: run_cached(r, cache=cache, workload=workload)
+        s = self._duplicate_sweep()
+        reqs = list(s.requests(workload._inner, verify=False))
+        if mode == "sync":
+            results = [runner(r) for r in reqs]
+        elif mode == "threads":
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                results = [f.result()
+                           for f in [pool.submit(runner, r) for r in reqs]]
+        else:
+            async def drive():
+                return await asyncio.gather(
+                    *(asyncio.to_thread(runner, r) for r in reqs))
+
+            results = asyncio.run(drive())
+        return workload.runs, cache.info(), results
+
+    @pytest.mark.parametrize("mode", ["sync", "threads", "async"])
+    def test_duplicate_requests_run_once_in_every_mode(self, mode):
+        runs, info, results = self._drive(mode)
+        assert runs == 1, f"{mode}: duplicates must coalesce into one run"
+        assert info["misses"] == 1
+        assert info["hits"] == 2
+        assert len({id(r) for r in results}) == 3  # every caller owns a clone
+
+    def test_async_accounting_matches_sync(self):
+        sync_runs, sync_info, _ = self._drive("sync")
+        async_runs, async_info, _ = self._drive("async")
+        assert async_runs == sync_runs
+        assert {k: async_info[k] for k in ("hits", "misses", "size")} == \
+            {k: sync_info[k] for k in ("hits", "misses", "size")}
+
+    def test_sweep_async_path_coalesces_duplicates(self):
+        from repro.workloads.cache import (clear_result_cache,
+                                           result_cache_info)
+
+        clear_result_cache()
+        s = self._duplicate_sweep()
+        results = asyncio.run(s.run_workload_async("stencil", workers=3,
+                                                   verify=False))
+        info = result_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 2
+        assert len(results) == 3
+        assert results[0].metrics == results[1].metrics == results[2].metrics
+        clear_result_cache()
