@@ -17,6 +17,13 @@ Subcommands
     default), so repeating an identical invocation is near-free;
     ``--no-cache`` bypasses it and ``--executor`` selects the
     functional-simulator mode.
+``sweep <workload>``
+    Run a parameter sweep (``--param L=16,32,64`` axes) through
+    ``Sweep.run_workload`` with the resilience layer exposed: ``--retries``
+    / ``--timeout-ms`` / ``--on-error`` wrap every configuration in the
+    retry + degradation machinery, ``--checkpoint``/``--resume`` journal
+    finished requests so an interrupted sweep picks up where it stopped,
+    and ``--inject`` installs a deterministic fault plan for chaos runs.
 ``tune <workload>``
     Search the workload's launch space (block shapes, work-group sizes,
     fast-math) for one request and persist the winner in the tuning
@@ -133,11 +140,84 @@ def build_parser() -> argparse.ArgumentParser:
     b_p.add_argument("--cache-dir", default=None, metavar="PATH",
                      help="on-disk result-cache location (default "
                           ".repro_cache/)")
+    b_p.add_argument("--retries", type=int, default=0, metavar="N",
+                     help="retry a failed run up to N times (exponential "
+                          "backoff with seeded jitter) and degrade along "
+                          "the executor/tuning fallback ladder (default 0: "
+                          "fail fast)")
+    b_p.add_argument("--timeout-ms", type=float, default=None, metavar="MS",
+                     help="wall-clock deadline per attempt; an expired run "
+                          "raises (or retries, with --retries)")
+    b_p.add_argument("--inject", default=None, metavar="PLAN.json",
+                     help="install a deterministic fault plan (JSON: seed + "
+                          "rules) for this invocation — chaos testing; see "
+                          "the README's resilience section for the format")
     fmt = b_p.add_mutually_exclusive_group()
     fmt.add_argument("--json", action="store_true",
                      help="emit the uniform result schema as JSON")
     fmt.add_argument("--markdown", action="store_true",
                      help="emit a markdown table instead of plain text")
+
+    sw_p = sub.add_parser(
+        "sweep",
+        help="run a workload over a cartesian parameter sweep, with "
+             "optional retries, checkpointing and fault injection")
+    sw_p.add_argument("workload", help="registered workload name "
+                                       "(see 'workloads')")
+    sw_p.add_argument("--gpu", default="h100",
+                      help="simulated GPU (default h100)")
+    sw_p.add_argument("--backend", default="mojo",
+                      help="backend/toolchain (default mojo)")
+    sw_p.add_argument("--precision", default=None,
+                      help="float32/float64 (default: the workload's)")
+    sw_p.add_argument("--param", action="append", default=[],
+                      metavar="K=V1,V2,...",
+                      help="sweep axis (repeatable): comma-separated values "
+                           "form the cartesian product; a single value pins "
+                           "the parameter; request fields (gpu, backend, "
+                           "precision, executor, tune, ...) may be swept "
+                           "too; tuple values use 'x' separators "
+                           "(block_shape=512x1x1,8x4x4)")
+    sw_p.add_argument("--repeats", type=int, default=5,
+                      help="measurement repeats kept (default 5)")
+    sw_p.add_argument("--warmup", type=int, default=1,
+                      help="warm-up runs discarded (default 1)")
+    sw_p.add_argument("--no-verify", action="store_true",
+                      help="skip functional verification")
+    sw_p.add_argument("--executor", default="auto",
+                      choices=["auto", "vectorized", "sequential",
+                               "cooperative"],
+                      help="functional-simulator mode (default auto)")
+    sw_p.add_argument("--workers", type=int, default=1, metavar="N",
+                      help="thread-pool width (default 1: sequential)")
+    sw_p.add_argument("--no-cache", action="store_true",
+                      help="bypass the request-level result cache")
+    sw_p.add_argument("--cache-dir", default=None, metavar="PATH",
+                      help="on-disk result-cache location (default "
+                           ".repro_cache/)")
+    sw_p.add_argument("--checkpoint", default=None, metavar="PATH",
+                      help="journal every finished request to a JSON-lines "
+                           "checkpoint file")
+    sw_p.add_argument("--resume", action="store_true",
+                      help="replay an existing checkpoint: completed "
+                           "requests are served from the journal, not "
+                           "re-run (without --resume the file is truncated)")
+    sw_p.add_argument("--on-error", default="raise",
+                      choices=["raise", "skip", "retry"],
+                      help="failed-request handling: raise (default), skip "
+                           "(record a FailureRecord and continue) or retry "
+                           "(retry + degradation ladder, then record)")
+    sw_p.add_argument("--retries", type=int, default=0, metavar="N",
+                      help="retry each failed request up to N times "
+                           "(implies the degradation ladder)")
+    sw_p.add_argument("--timeout-ms", type=float, default=None, metavar="MS",
+                      help="wall-clock deadline per attempt")
+    sw_p.add_argument("--inject", default=None, metavar="PLAN.json",
+                      help="install a deterministic fault plan for the "
+                           "whole sweep (chaos testing)")
+    sw_p.add_argument("--json", action="store_true",
+                      help="emit results, failures and the resilience "
+                           "summary as JSON")
 
     t_p = sub.add_parser(
         "tune",
@@ -311,6 +391,36 @@ def _parse_param_overrides(pairs: List[str]) -> dict:
     return params
 
 
+def _resilient_runner(workload, retries: int, timeout_ms):
+    """``Workload.run``, or its retry/deadline/degradation wrapper.
+
+    Shared by ``bench`` and ``sweep``: ``--retries 0`` with no timeout is
+    exactly the plain run path (no wrapper, no resilience provenance).
+    """
+    if retries <= 0 and timeout_ms is None:
+        return workload.run, None
+    from .resilience import RetryPolicy, run_resilient
+
+    retry = RetryPolicy(max_attempts=retries + 1) if retries > 0 else None
+
+    def runner(request):
+        return run_resilient(workload, request, retry=retry,
+                             timeout_ms=timeout_ms)
+
+    return runner, retry
+
+
+def _inject_scope(plan_path):
+    """Context manager installing a fault plan from a JSON file (or a no-op)."""
+    import contextlib
+
+    if plan_path is None:
+        return contextlib.nullcontext()
+    from .resilience import FaultPlan, install_fault_plan
+
+    return install_fault_plan(FaultPlan.load(plan_path))
+
+
 def _cmd_bench(args) -> int:
     from .harness.results import ResultTable
     from .harness.runner import MeasurementProtocol
@@ -333,23 +443,26 @@ def _cmd_bench(args) -> int:
         executor=args.executor, streams=args.streams,
         tune="cached" if args.tuned else "off",
     )
+    runner, _ = _resilient_runner(workload, args.retries, args.timeout_ms)
     cache_note = "disabled (--no-cache)"
-    if args.no_cache:
-        result = workload.run(request)
-    elif args.tuned:
-        # Tuned results depend on the mutable tuning database, so the
-        # request-level result cache does not memoise them (see run_cached).
-        result = run_cached(request)
-        cache_note = "bypassed (tuned request)"
-    else:
-        # A disk-backed cache keyed by the frozen request makes repeated
-        # identical bench invocations near-free across processes.  The cache
-        # object is fresh per invocation, so the only possible outcomes are
-        # a disk hit or a miss that populates the store.
-        cache = ResultCache(disk_dir=args.cache_dir or DEFAULT_CACHE_DIR)
-        result = run_cached(request, cache=cache)
-        cache_note = ("hit (disk)" if cache.info()["disk_hits"]
-                      else "miss (stored)")
+    with _inject_scope(args.inject):
+        if args.no_cache:
+            result = runner(request)
+        elif args.tuned:
+            # Tuned results depend on the mutable tuning database, so the
+            # request-level result cache does not memoise them (run_cached).
+            result = run_cached(request, workload=workload, runner=runner)
+            cache_note = "bypassed (tuned request)"
+        else:
+            # A disk-backed cache keyed by the frozen request makes repeated
+            # identical bench invocations near-free across processes.  The
+            # cache object is fresh per invocation, so the only possible
+            # outcomes are a disk hit or a miss that populates the store.
+            cache = ResultCache(disk_dir=args.cache_dir or DEFAULT_CACHE_DIR)
+            result = run_cached(request, cache=cache, workload=workload,
+                                runner=runner)
+            cache_note = ("hit (disk)" if cache.info()["disk_hits"]
+                          else "miss (stored)")
 
     table = ResultTable(columns=list(result.ROW_COLUMNS),
                         title=f"{workload.name} on {request.gpu} / "
@@ -390,9 +503,135 @@ def _cmd_bench(args) -> int:
             else:
                 print(f"tuning: not applied ({tuning.get('reason', '?')}) — "
                       "run 'repro tune' to search and persist a winner")
+        resilience = result.provenance.get("resilience")
+        if resilience is not None:
+            ran = resilience["ran"]
+            note = f"{resilience['attempts']} attempt(s)"
+            if resilience["degraded"]:
+                note += (f", degraded to executor={ran['executor']} "
+                         f"tune={ran['tune']}")
+            print(f"resilience: {note}")
         print(f"result cache: {cache_note}")
     return 0 if (not result.verification.ran
                  or result.verification.passed) else 1
+
+
+def _parse_sweep_params(pairs: List[str]) -> dict:
+    """``K=V1,V2,...`` pairs into sweep axes (singletons pin a parameter).
+
+    Tuple-valued entries use ``x`` separators (``block_shape=512x1x1``) so
+    the comma stays free to separate sweep values; they are rewritten to
+    the comma form :meth:`ParamSpec.coerce` expects.
+    """
+    import re
+
+    axes: dict = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key or not value:
+            raise ConfigurationError(
+                f"--param expects K=V1,V2,..., got {pair!r}")
+        values: List[object] = []
+        for item in value.split(","):
+            item = item.strip()
+            if re.fullmatch(r"\d+(x\d+)+", item):
+                item = item.replace("x", ",")
+            values.append(item)
+        axes[key] = values
+    return axes
+
+
+def _cmd_sweep(args) -> int:
+    from .harness.results import ResultTable
+    from .harness.runner import MeasurementProtocol
+    from .harness.sweep import sweep as make_sweep
+    from .resilience import RetryPolicy
+    from .workloads import get_workload
+    from .workloads.cache import DEFAULT_CACHE_DIR, configure_result_cache
+
+    workload = get_workload(args.workload)
+    axes = _parse_sweep_params(args.param)
+    if not axes:
+        raise ConfigurationError(
+            "sweep needs at least one --param axis (K=V1,V2,...)")
+    s = make_sweep(**axes)
+
+    if args.no_cache:
+        cache = False
+    else:
+        cache = True
+        configure_result_cache(disk=True,
+                               disk_dir=args.cache_dir or DEFAULT_CACHE_DIR)
+    base = dict(
+        gpu=args.gpu, backend=args.backend, precision=args.precision,
+        verify=not args.no_verify, executor=args.executor,
+        protocol=MeasurementProtocol(warmup=args.warmup,
+                                     repeats=args.repeats),
+    )
+    # axes may sweep request fields; drop the fixed value for those keys
+    for key in list(base):
+        if key in axes:
+            del base[key]
+    retry = RetryPolicy(max_attempts=args.retries + 1) if args.retries > 0 \
+        else None
+    with _inject_scope(args.inject) as injector:
+        results = s.run_workload(
+            workload, workers=args.workers if args.workers > 1 else None,
+            cache=cache, checkpoint=args.checkpoint, resume=args.resume,
+            on_error=args.on_error, retry=retry, timeout_ms=args.timeout_ms,
+            **base)
+
+    completed = [r for r in results if getattr(r, "ok", True)]
+    failures = [r for r in results if not getattr(r, "ok", True)]
+    retried = sum(1 for r in completed
+                  if r.provenance.get("resilience", {}).get("retried"))
+    degraded = sum(1 for r in completed
+                   if r.provenance.get("resilience", {}).get("degraded"))
+    verify_failed = sum(1 for r in completed
+                        if r.verification.ran and not r.verification.passed)
+    summary = {
+        "configurations": len(results),
+        "completed": len(completed),
+        "failures": len(failures),
+        "retried": retried,
+        "degraded": degraded,
+        "verification_failures": verify_failed,
+    }
+    if injector is not None:
+        summary["faults"] = injector.stats()
+
+    if args.json:
+        print(json.dumps({
+            "workload": workload.name,
+            "summary": summary,
+            "results": [r.as_dict() for r in completed],
+            "failures": [f.as_dict() for f in failures],
+        }, indent=2, default=str))
+    else:
+        if completed:
+            table = ResultTable(columns=list(completed[0].ROW_COLUMNS),
+                                title=f"{workload.name} sweep "
+                                      f"({len(results)} configuration(s))")
+            for r in completed:
+                table.add_row(**r.to_row())
+            print(table.to_text())
+        for f in failures:
+            print(f"FAILED [{f.stage}] {f.request.get('params')}: "
+                  f"{f.error_type}: {f.message}")
+        notes = [f"{len(completed)}/{len(results)} completed"]
+        if retried:
+            notes.append(f"{retried} retried")
+        if degraded:
+            notes.append(f"{degraded} degraded")
+        if verify_failed:
+            notes.append(f"{verify_failed} failed verification")
+        if injector is not None:
+            notes.append(f"{injector.stats()['total_fired']} fault(s) "
+                         "injected")
+        if args.checkpoint:
+            notes.append(f"checkpoint {args.checkpoint}")
+        print("sweep: " + ", ".join(notes))
+    return 0 if not failures and not verify_failed else 1
 
 
 def _cmd_tune(args) -> int:
@@ -677,6 +916,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             # failed verification (VerificationError inside the workload is
             # already folded into the result by Workload.run)
             print(f"bench: {exc}", file=sys.stderr)
+            return 2
+    if args.command == "sweep":
+        try:
+            return _cmd_sweep(args)
+        except ReproError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
             return 2
     if args.command == "tune":
         try:

@@ -64,6 +64,7 @@ import numpy as np
 from ..gpu.executor import ExecutionResult, KernelExecutor
 from ..gpu.memory import Allocation, AllocationTracker, MemorySpace, TransferModel
 from ..gpu.specs import GPUSpec, get_gpu
+from ..resilience import faults as _faults
 from .dtypes import DType, dtype_from_any
 from .errors import DeviceError, LaunchError
 from .intrinsics import Dim3
@@ -125,7 +126,8 @@ class DeviceBuffer:
         def work() -> None:
             self.array[...] = src
 
-        self.ctx._submit_transfer("h2d", self, work, stream, src=src)
+        self.ctx._submit_transfer("h2d", self, work, stream, src=src,
+                                  sink=self.array)
         return self
 
     def copy_to_host(self, out: Optional[np.ndarray] = None, *,
@@ -178,7 +180,7 @@ class DeviceBuffer:
         def work() -> None:
             dest[...] = self.array
 
-        self.ctx._submit_transfer("d2h", self, work, stream)
+        self.ctx._submit_transfer("d2h", self, work, stream, sink=dest)
         return ret
 
     def fill(self, value, *, stream: Optional["Stream"] = None) -> "DeviceBuffer":
@@ -859,12 +861,17 @@ class DeviceContext:
     # ------------------------------------------------------------- execution
     def _submit_transfer(self, kind: str, buf: DeviceBuffer,
                          fn: Callable[[], None], stream: Optional[Stream],
-                         src=None) -> None:
+                         src=None, sink=None) -> None:
         stream = self._resolve_stream(stream)
         t_ms = self._transfer_model.transfer_time_s(buf.nbytes) * 1e3
 
         def work() -> Tuple[float, Optional[ExecutionResult], dict]:
+            injector = _faults._ACTIVE
+            if injector is not None:
+                injector.fail_transfer(kind, buf.label)
             fn()
+            if injector is not None and sink is not None:
+                injector.corrupt_transfer(kind, buf.label, sink)
             return t_ms, None, {"nbytes": buf.nbytes, "buffer": buf.label}
 
         op = _Op(kind, f"{kind}:{buf.nbytes}B", stream, stream._take_waits(),

@@ -7,20 +7,45 @@ sweeps and CLI invocations, so each store calls
 :func:`prune_dir_to_budget` after a write: entries are evicted
 oldest-modified-first until the directory fits its byte budget again.
 
-The helper is deliberately conservative: it only ever touches files matching
-the store's own suffix, it never removes the entry that was just written
-(the newest file), and every filesystem error is swallowed — a cache prune
-must never break the run that triggered it.
+Every entry carries an embedded content checksum (``__checksum__``,
+written by :func:`write_json_entry` over the entry's canonical JSON).  A
+read that finds unparseable JSON or a checksum mismatch — a torn write, a
+truncated file, on-disk corruption — **quarantines** the file into the
+store's ``quarantine/`` subdirectory, emits a :class:`CorruptEntryWarning`
+and reports a miss: the store heals itself by recomputing the entry, and
+the damaged bytes stay available for post-mortem instead of being served
+or silently deleted.  Entries written before the checksum existed verify
+trivially (no field, no check).
+
+The prune helper is deliberately conservative: it only ever touches files
+matching the store's own suffix (the ``quarantine/`` subdirectory is a
+directory, so it is never listed), it never removes the entry that was just
+written (the newest file), and every filesystem error is swallowed — a
+cache prune must never break the run that triggered it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import warnings
 from typing import List, Optional, Tuple
 
+from ..resilience import faults as _faults
+
 __all__ = ["dir_size_bytes", "prune_dir_to_budget", "read_json_entry",
-           "write_json_entry"]
+           "write_json_entry", "CorruptEntryWarning", "QUARANTINE_DIR"]
+
+#: subdirectory (per store directory) that corrupt entries are moved into
+QUARANTINE_DIR = "quarantine"
+
+#: key under which the content checksum is embedded in every entry
+_CHECKSUM_KEY = "__checksum__"
+
+
+class CorruptEntryWarning(UserWarning):
+    """A store entry was unreadable or failed its checksum and was quarantined."""
 
 
 def _entries(path: str, suffix: str) -> List[Tuple[float, int, str]]:
@@ -47,31 +72,87 @@ def dir_size_bytes(path: str, *, suffix: str = ".json") -> int:
     return sum(size for _, size, _ in _entries(path, suffix))
 
 
+def _checksum(payload: dict) -> str:
+    """Content digest over the entry's canonical JSON (checksum key excluded).
+
+    The body is round-tripped through JSON before hashing so the digest of
+    the in-memory payload (tuples, ``default=str`` conversions) and the
+    digest of the parsed file contents agree by construction.
+    """
+    body = {k: v for k, v in payload.items() if k != _CHECKSUM_KEY}
+    body = json.loads(json.dumps(body, default=str))
+    canonical = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def quarantine_entry(path: str, reason: str) -> Optional[str]:
+    """Move a corrupt entry into its store's ``quarantine/`` subdirectory.
+
+    Returns the quarantined path (None when the move failed — e.g. a
+    read-only store, where the bad file simply stays put and keeps reading
+    as a miss).  A warning is emitted either way so sweeps surface the
+    corruption without dying on it.
+    """
+    directory, name = os.path.split(path)
+    target: Optional[str] = os.path.join(directory, QUARANTINE_DIR, name)
+    try:
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        os.replace(path, target)
+    except OSError:  # pragma: no cover - read-only / raced store
+        target = None
+    warnings.warn(
+        f"corrupt store entry {path!r} ({reason}); "
+        + (f"quarantined to {target!r}" if target else "quarantine failed")
+        + "; treating as a miss",
+        CorruptEntryWarning,
+        stacklevel=3,
+    )
+    return target
+
+
 def read_json_entry(path: str) -> Optional[dict]:
     """One store entry's JSON payload, or None when absent/corrupt.
 
-    Corruption (a torn write, a truncated file) reads as a miss, never an
-    error — both stores treat their disk layer as best-effort.
+    Corruption (a torn write, a truncated file, a checksum mismatch) reads
+    as a miss, never an error — the bad file is quarantined (see
+    :func:`quarantine_entry`) so the store recomputes and heals.  A missing
+    file is a plain miss, no warning.
     """
+    injector = _faults._ACTIVE
+    if injector is not None and injector.corrupt_read(path):
+        # Injected torn read: report a miss without touching the real file.
+        return None
     try:
         with open(path, "r", encoding="utf-8") as fh:
             payload = json.load(fh)
-    except (OSError, json.JSONDecodeError):
+    except OSError:
         return None
-    return payload if isinstance(payload, dict) else None
+    except json.JSONDecodeError as exc:
+        quarantine_entry(path, f"invalid JSON: {exc}")
+        return None
+    if not isinstance(payload, dict):
+        quarantine_entry(path, "entry is not a JSON object")
+        return None
+    stored = payload.pop(_CHECKSUM_KEY, None)
+    if stored is not None and stored != _checksum(payload):
+        quarantine_entry(path, "checksum mismatch")
+        return None
+    return payload
 
 
 def write_json_entry(path: str, payload: dict, max_bytes: int) -> bool:
-    """Write one store entry, then prune its directory to *max_bytes*.
+    """Write one store entry (checksummed), then prune to *max_bytes*.
 
     Creates the parent directory on demand; a read-only or full filesystem
     makes this a no-op (returns False) rather than an error, matching the
     stores' best-effort disk contract.
     """
+    entry = dict(payload)
+    entry[_CHECKSUM_KEY] = _checksum(entry)
     try:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, default=str)
+            json.dump(entry, fh, default=str)
     except OSError:  # pragma: no cover - read-only / full filesystem
         return False
     prune_dir_to_budget(os.path.dirname(path), max_bytes)

@@ -19,6 +19,8 @@ __all__ = [
     "LayoutError",
     "DTypeError",
     "VerificationError",
+    "DeadlineExceeded",
+    "CircuitOpenError",
 ]
 
 
@@ -69,3 +71,28 @@ class VerificationError(ReproError):
     def __init__(self, message: str, *, max_rel_error=None):
         super().__init__(message)
         self.max_rel_error = max_rel_error
+
+
+class DeadlineExceeded(ReproError):
+    """Raised when a run exceeds its :class:`~repro.resilience.Deadline`.
+
+    ``timeout_ms`` carries the budget that was exhausted so retry policies
+    and failure records can report it without parsing the message.
+    """
+
+    def __init__(self, message: str, *, timeout_ms=None):
+        super().__init__(message)
+        self.timeout_ms = timeout_ms
+
+
+class CircuitOpenError(ReproError):
+    """Raised when a circuit breaker refuses a run for a tripped key.
+
+    The breaker trips per ``(workload, gpu, backend)`` after repeated
+    failures (see :class:`~repro.resilience.CircuitBreaker`); ``key``
+    identifies the configuration that is being protected.
+    """
+
+    def __init__(self, message: str, *, key=None):
+        super().__init__(message)
+        self.key = key

@@ -83,6 +83,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.errors import LaunchError
 from ..core.intrinsics import Dim3, ThreadState, bind_thread_state
 from ..core.kernel import Kernel, LaunchConfig
+from ..resilience import faults as _faults
 from .vector_executor import kernel_vector_safe, run_vectorized
 
 __all__ = ["ExecutionCounters", "ExecutionResult", "KernelExecutor",
@@ -268,6 +269,10 @@ class KernelExecutor:
         """
         if not isinstance(kern, Kernel):
             kern = Kernel(kern)
+        injector = _faults._ACTIVE
+        if injector is not None:
+            injector.fail_launch("launch", kern.name)
+            injector.inject_latency("latency", kern.name)
         launch.validate()
         total = launch.total_threads
         if total > self.max_total_threads:

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..core.intrinsics import Dim3, bind_thread_state
 from ..core.kernel import Kernel
+from ..resilience import faults as _faults
 
 __all__ = ["VectorThreadState", "LaneDim3", "kernel_vector_safe",
            "run_vectorized", "VECTOR_CHUNK_LANES"]
@@ -252,6 +253,14 @@ def run_vectorized(kern, args, launch, counters, *, per_block: bool) -> int:
     chunks of at most :data:`VECTOR_CHUNK_LANES` lanes.
     """
     fn = kern.fn if isinstance(kern, Kernel) else kern
+    injector = _faults._ACTIVE
+    if injector is not None:
+        # Graph-replay thunks call run_vectorized directly, bypassing
+        # KernelExecutor.launch — these sites cover that path too.
+        name = kern.name if isinstance(kern, Kernel) else \
+            getattr(fn, "__name__", "kernel")
+        injector.fail_launch("launch.vectorized", name)
+        injector.inject_latency("latency.vectorized", name)
     bd, gd = launch.block_dim, launch.grid_dim
     tpb = bd.total
     max_shared = 0

@@ -140,25 +140,58 @@ class Sweep:
                     params[name] = value
             yield wl.make_request(params=params, **fields)
 
-    def _workload_plan(self, workload, cache: bool, base: Dict[str, object]):
+    @staticmethod
+    def _resilience_bundle(checkpoint, resume, on_error, retry, timeout_ms,
+                           breaker):
+        """Build the :class:`SweepResilience` bundle, or None when unused.
+
+        All-default keyword arguments mean the sweep runs exactly as it
+        always has — no wrapper layers, no journal, no behaviour change.
+        """
+        if checkpoint is None and on_error == "raise" and retry is None \
+                and timeout_ms is None and breaker is None:
+            return None
+        from ..resilience import CheckpointJournal, SweepResilience
+
+        journal = None
+        if checkpoint is not None:
+            journal = checkpoint if isinstance(checkpoint, CheckpointJournal) \
+                else CheckpointJournal(checkpoint, resume=resume)
+        return SweepResilience(on_error=on_error, journal=journal,
+                               retry=retry, timeout_ms=timeout_ms,
+                               breaker=breaker)
+
+    def _workload_plan(self, workload, cache: bool, base: Dict[str, object],
+                       resilience=None):
         """Shared setup for the sync/async workload runners.
 
         Resolves the workload, materialises the sweep's requests, and picks
         the per-request runner — memoised through the request-level result
         cache unless ``cache=False``.  The runner closes over the resolved
         instance: ``run_cached`` must not re-resolve by name, or sweeps over
-        unregistered ``Workload`` instances break.
+        unregistered ``Workload`` instances break.  With a
+        :class:`~repro.resilience.SweepResilience` bundle the runner is
+        wrapped twice: retries/deadline/degradation *inside* the cache (a
+        recovered result is memoised like any other) and checkpoint/circuit
+        breaker/failure capture *outside* it.
         """
         from ..workloads import get_workload  # cycle-break, as in requests()
         from ..workloads.cache import run_cached
 
         wl = get_workload(workload)
         reqs = list(self.requests(wl, **base))
-        runner = (lambda r: run_cached(r, workload=wl)) if cache else wl.run
+        core = wl.run if resilience is None else resilience.wrap_run(wl)
+        runner = (lambda r: run_cached(r, workload=wl, runner=core)) \
+            if cache else core
+        if resilience is not None:
+            runner = resilience.wrap_request(wl, runner)
         return runner, reqs
 
     def run_workload(self, workload, *, workers: Optional[int] = None,
-                     cache: bool = True, **base) -> List[object]:
+                     cache: bool = True, checkpoint=None, resume: bool = True,
+                     on_error: str = "raise", retry=None,
+                     timeout_ms: Optional[float] = None, breaker=None,
+                     **base) -> List[object]:
         """Run a registered workload over every configuration.
 
         Returns one ``WorkloadResult`` per configuration, in sweep order
@@ -170,8 +203,29 @@ class Sweep:
         repeated sweep points — and repeated sweeps over overlapping
         configurations — are answered without re-running the workload.
         Pass ``cache=False`` to force fresh runs.
+
+        Resilience (all off by default — the plain path is unchanged):
+
+        * ``checkpoint=path`` journals every finished request to a
+          JSON-lines file; with ``resume=True`` (default) an existing
+          journal is replayed and completed requests are **not re-run**.
+          ``checkpoint`` also accepts a ready
+          :class:`~repro.resilience.CheckpointJournal`.
+        * ``on_error`` — ``"raise"`` propagates the first failure (today's
+          behaviour); ``"skip"`` and ``"retry"`` convert a failed request
+          into a :class:`~repro.resilience.FailureRecord` in the result
+          list (``"retry"`` first retries under *retry*, defaulting to
+          three attempts, with the degradation ladder).
+        * ``retry`` — a :class:`~repro.resilience.RetryPolicy` or attempt
+          count applied to every request; ``timeout_ms`` bounds each
+          attempt with a :class:`~repro.resilience.Deadline`.
+        * ``breaker`` — a :class:`~repro.resilience.CircuitBreaker`;
+          requests whose ``(workload, gpu, backend)`` circuit is open fail
+          fast instead of running.
         """
-        runner, reqs = self._workload_plan(workload, cache, base)
+        resilience = self._resilience_bundle(checkpoint, resume, on_error,
+                                             retry, timeout_ms, breaker)
+        runner, reqs = self._workload_plan(workload, cache, base, resilience)
         if workers is None or workers <= 1:
             return [runner(r) for r in reqs]
         from concurrent.futures import ThreadPoolExecutor
@@ -181,7 +235,11 @@ class Sweep:
             return [f.result() for f in futures]
 
     async def run_workload_async(self, workload, *, workers: int = 4,
-                                 cache: bool = True, **base) -> List[object]:
+                                 cache: bool = True, checkpoint=None,
+                                 resume: bool = True, on_error: str = "raise",
+                                 retry=None,
+                                 timeout_ms: Optional[float] = None,
+                                 breaker=None, **base) -> List[object]:
         """Asynchronously run a registered workload over every configuration.
 
         The coroutine counterpart of :meth:`run_workload`, built on the
@@ -189,11 +247,17 @@ class Sweep:
         execute concurrently (each on its own worker thread with its own
         device context — no mutable state is shared), and the result list
         follows sweep order regardless of completion order
-        (``asyncio.gather`` preserves argument order).
+        (``asyncio.gather`` preserves argument order).  The resilience
+        keywords (``checkpoint``/``resume``/``on_error``/``retry``/
+        ``timeout_ms``/``breaker``) behave exactly as in
+        :meth:`run_workload`; the journal and breaker are thread-safe, so
+        concurrent requests share them correctly.
         """
         import asyncio
 
-        runner, reqs = self._workload_plan(workload, cache, base)
+        resilience = self._resilience_bundle(checkpoint, resume, on_error,
+                                             retry, timeout_ms, breaker)
+        runner, reqs = self._workload_plan(workload, cache, base, resilience)
         gate = asyncio.Semaphore(max(int(workers), 1))
 
         async def one(request):

@@ -1,0 +1,324 @@
+"""Journaled sweep checkpointing and failure records.
+
+A long sweep should survive interruption and partial failure.  The
+:class:`CheckpointJournal` is an append-only JSON-lines file: one line per
+finished request, keyed by the same canonical request digest the on-disk
+result cache uses.  Resuming a sweep replays the journal — completed
+requests are answered from their recorded result export without re-running,
+previously *failed* requests get a fresh chance — and a torn tail line
+(the process died mid-write) is skipped, never fatal.
+
+Failures that a sweep is told to survive (``on_error="skip"|"retry"``)
+come back as :class:`FailureRecord` entries in the result list, preserving
+sweep order, so callers can always line results up with configurations.
+
+:class:`SweepResilience` bundles the per-sweep wiring — journal, retry
+policy, per-attempt deadline, circuit breaker, on-error mode — and is what
+:meth:`repro.harness.sweep.Sweep.run_workload` builds from its resilience
+keyword arguments.  Thread-safe throughout: the sync ``workers=N`` pool and
+``run_workload_async`` share one journal and one breaker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.errors import CircuitOpenError, ConfigurationError, ReproError
+from .degrade import run_resilient
+from .policy import CircuitBreaker, RetryPolicy
+
+__all__ = ["FailureRecord", "CheckpointJournal", "SweepResilience",
+           "request_digest", "ON_ERROR_MODES"]
+
+#: schema tag written with every journal line; bump to invalidate old files
+_JOURNAL_SCHEMA = "repro.sweep-checkpoint/v1"
+
+#: how run_workload treats a request that still fails after its retries
+ON_ERROR_MODES = ("raise", "skip", "retry")
+
+
+def request_digest(request) -> str:
+    """Canonical digest of *request* — the result cache's disk key.
+
+    Reusing :meth:`ResultCache.disk_key` means a checkpoint entry and a
+    result-cache entry for the same request agree on identity (both fold
+    the package version in, so a release boundary invalidates both).
+    """
+    from ..workloads.cache import ResultCache
+
+    return ResultCache.disk_key(request)
+
+
+@dataclass
+class FailureRecord:
+    """One request a resilient sweep gave up on.
+
+    Takes a result's place in the sweep-ordered output list, so it mirrors
+    the identification fields a caller would read off a result.  ``ok`` is
+    always False — results and failures can be split with a simple
+    attribute test (results expose no ``ok``; use ``isinstance`` or
+    ``getattr(r, "ok", True)``).
+    """
+
+    workload: str
+    digest: str
+    request: Dict[str, object]
+    error_type: str
+    message: str
+    stage: str = "run"  # "run" | "circuit-open"
+    attempts: int = 1
+    ok: bool = field(default=False, init=False)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "digest": self.digest,
+            "request": self.request,
+            "error_type": self.error_type,
+            "message": self.message,
+            "stage": self.stage,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FailureRecord":
+        return cls(
+            workload=str(payload.get("workload", "")),
+            digest=str(payload.get("digest", "")),
+            request=dict(payload.get("request", {})),
+            error_type=str(payload.get("error_type", "")),
+            message=str(payload.get("message", "")),
+            stage=str(payload.get("stage", "run")),
+            attempts=int(payload.get("attempts", 1)),
+        )
+
+    @classmethod
+    def from_exception(cls, request, exc: BaseException, *,
+                       digest: str = "", stage: str = "run",
+                       attempts: int = 1) -> "FailureRecord":
+        return cls(
+            workload=request.workload,
+            digest=digest or request_digest(request),
+            request=request.as_dict(),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            stage=stage,
+            attempts=attempts,
+        )
+
+
+class CheckpointJournal:
+    """Append-only JSON-lines journal of finished sweep requests.
+
+    ``resume=True`` (the default) loads any existing file; ``resume=False``
+    truncates it and starts fresh.  Loading is tolerant: unparseable lines
+    (a torn tail from an interrupted write) and lines with a foreign schema
+    tag are skipped.  Appends re-open the file per write and flush+fsync,
+    so every *completed* request survives a crash.
+    """
+
+    def __init__(self, path: str, *, resume: bool = True):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._completed: Dict[str, dict] = {}
+        self._failed: Dict[str, dict] = {}
+        self.skipped_lines = 0
+        if resume:
+            self._load()
+        elif os.path.exists(self.path):
+            with open(self.path, "w", encoding="utf-8"):
+                pass
+
+    # ---------------------------------------------------------------- loading
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                self.skipped_lines += 1
+                continue
+            if not isinstance(entry, dict) \
+                    or entry.get("schema") != _JOURNAL_SCHEMA:
+                self.skipped_lines += 1
+                continue
+            digest = entry.get("digest")
+            if not digest:
+                self.skipped_lines += 1
+                continue
+            if entry.get("status") == "ok":
+                self._completed[digest] = entry
+                self._failed.pop(digest, None)
+            elif entry.get("status") == "failed":
+                # remembered for reporting only: a resumed sweep re-runs it
+                self._failed[digest] = entry
+
+    # --------------------------------------------------------------- querying
+    def get(self, request):
+        """The rehydrated result for a completed *request*, or None."""
+        from ..workloads.cache import _result_from_export
+
+        digest = request_digest(request)
+        with self._lock:
+            entry = self._completed.get(digest)
+        if entry is None:
+            return None
+        return _result_from_export(request, entry.get("result", {}))
+
+    @property
+    def completed_count(self) -> int:
+        with self._lock:
+            return len(self._completed)
+
+    def failures(self) -> List[FailureRecord]:
+        """Failure records remembered from previous (resumed) runs."""
+        with self._lock:
+            entries = list(self._failed.values())
+        return [FailureRecord.from_dict(e.get("failure", {}))
+                for e in entries]
+
+    def summary(self) -> Dict[str, int]:
+        with self._lock:
+            return {"completed": len(self._completed),
+                    "failed": len(self._failed),
+                    "skipped_lines": self.skipped_lines}
+
+    # -------------------------------------------------------------- recording
+    def record_success(self, request, result, *,
+                       digest: Optional[str] = None) -> None:
+        digest = digest or request_digest(request)
+        entry = {
+            "schema": _JOURNAL_SCHEMA,
+            "status": "ok",
+            "digest": digest,
+            "workload": request.workload,
+            "result": result.as_dict(),
+        }
+        with self._lock:
+            self._completed[digest] = entry
+            self._failed.pop(digest, None)
+            self._append(entry)
+
+    def record_failure(self, failure: FailureRecord) -> None:
+        entry = {
+            "schema": _JOURNAL_SCHEMA,
+            "status": "failed",
+            "digest": failure.digest,
+            "workload": failure.workload,
+            "failure": failure.as_dict(),
+        }
+        with self._lock:
+            self._failed[failure.digest] = entry
+            self._append(entry)
+
+    def _append(self, entry: dict) -> None:
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, default=str) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+class SweepResilience:
+    """The per-sweep bundle of resilience mechanisms.
+
+    Built by ``Sweep.run_workload`` from its keyword arguments; wraps the
+    sweep's per-request runner in two layers:
+
+    * :meth:`wrap_run` — the *inner* runner (what the result cache calls on
+      a miss): retries, per-attempt deadline and the degradation ladder via
+      :func:`~repro.resilience.degrade.run_resilient`;
+    * :meth:`wrap_request` — the *outer* runner: checkpoint-journal lookup,
+      circuit-breaker admission, failure capture per the ``on_error`` mode.
+    """
+
+    def __init__(self, *, on_error: str = "raise",
+                 journal: Optional[CheckpointJournal] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 timeout_ms: Optional[float] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 degrade: bool = True):
+        if on_error not in ON_ERROR_MODES:
+            raise ConfigurationError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}")
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            retry = RetryPolicy(max_attempts=int(retry))
+        if retry is None and on_error == "retry":
+            retry = RetryPolicy()
+        self.on_error = on_error
+        self.journal = journal
+        self.retry = retry
+        self.timeout_ms = None if timeout_ms is None else float(timeout_ms)
+        self.breaker = breaker
+        self.degrade = degrade
+        self.failures: List[FailureRecord] = []
+        self._lock = threading.Lock()
+
+    def wrap_run(self, workload) -> Callable:
+        """The inner runner: ``Workload.run`` under retry/deadline/ladder."""
+        if self.retry is None and self.timeout_ms is None:
+            return workload.run
+
+        def resilient(request):
+            return run_resilient(workload, request, retry=self.retry,
+                                 timeout_ms=self.timeout_ms,
+                                 degrade=self.degrade)
+
+        return resilient
+
+    def wrap_request(self, workload, runner: Callable) -> Callable:
+        """The outer runner: checkpoint + breaker + on-error handling."""
+
+        def wrapped(request):
+            digest = request_digest(request)
+            if self.journal is not None:
+                stored = self.journal.get(request)
+                if stored is not None:
+                    return stored
+            key = (workload.name, request.gpu, request.backend)
+            if self.breaker is not None and not self.breaker.allow(key):
+                exc = CircuitOpenError(
+                    f"circuit open for {key!r}", key=key)
+                return self._failed(request, exc, digest,
+                                    stage="circuit-open", raise_exc=exc)
+            try:
+                result = runner(request)
+            except ReproError as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure(key)
+                return self._failed(request, exc, digest)
+            if self.breaker is not None:
+                self.breaker.record_success(key)
+            if self.journal is not None:
+                self.journal.record_success(request, result, digest=digest)
+            return result
+
+        return wrapped
+
+    def _failed(self, request, exc, digest: str, *, stage: str = "run",
+                raise_exc=None):
+        attempts = 1
+        if self.retry is not None and stage == "run":
+            attempts = self.retry.max_attempts
+        failure = FailureRecord.from_exception(request, exc, digest=digest,
+                                               stage=stage, attempts=attempts)
+        with self._lock:
+            self.failures.append(failure)
+        if self.journal is not None:
+            self.journal.record_failure(failure)
+        if self.on_error == "raise":
+            raise (raise_exc if raise_exc is not None else exc)
+        return failure

@@ -1,0 +1,259 @@
+"""Retry, deadline and circuit-breaker policies for workload runs.
+
+Three small, composable mechanisms, all deterministic:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  *seeded* jitter (the delay for attempt *i* is a pure function of the
+  seed, so chaos runs replay identically);
+* :class:`Deadline` — a wall-clock budget for one run, enforced by joining
+  a worker thread (the simulator has no preemption points, so a hung
+  candidate is abandoned rather than interrupted) and surfaced as
+  :class:`DeadlineExceeded`;
+* :class:`CircuitBreaker` — per-key failure counting with an open/half-open
+  cooldown cycle, so sweeps stop hammering a configuration that keeps
+  dying (keyed by ``(workload, gpu, backend)`` in the sweep integration).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceeded,
+    DeviceError,
+    LaunchError,
+    ReproError,
+)
+
+__all__ = ["RetryPolicy", "Deadline", "CircuitBreaker"]
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means up to
+    two retries.  The delay after failed attempt *i* (1-based) is
+    ``backoff_s * multiplier**(i-1)``, scaled by a deterministic jitter
+    factor in ``[1-jitter, 1+jitter]`` drawn from ``(seed, i)`` alone.
+    ``retry_on`` lists the transient exception types worth retrying;
+    configuration errors are deliberately not among the defaults — retrying
+    a malformed request can never succeed.
+    """
+
+    #: exception types retried by default (transient substrate failures)
+    DEFAULT_RETRY_ON = (LaunchError, DeviceError, DeadlineExceeded)
+
+    def __init__(self, max_attempts: int = 3, *,
+                 backoff_s: float = 0.01,
+                 multiplier: float = 2.0,
+                 jitter: float = 0.1,
+                 seed: int = 2025,
+                 retry_on: Tuple[type, ...] = DEFAULT_RETRY_ON,
+                 sleep: Callable[[float], None] = time.sleep):
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff_s < 0 or multiplier < 1.0 or not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError(
+                "invalid backoff: need backoff_s >= 0, multiplier >= 1, "
+                "0 <= jitter <= 1"
+            )
+        self.max_attempts = int(max_attempts)
+        self.backoff_s = float(backoff_s)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self.retry_on = tuple(retry_on)
+        self.sleep = sleep
+
+    def retryable(self, exc: BaseException) -> bool:
+        """True when *exc* is a transient failure worth another attempt."""
+        return isinstance(exc, self.retry_on)
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff delay after failed *attempt* (1-based), jitter included."""
+        base = self.backoff_s * self.multiplier ** (max(attempt, 1) - 1)
+        digest = hashlib.sha256(f"{self.seed}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    def call(self, fn: Callable[[], object], *,
+             on_retry: Optional[Callable[[int, BaseException], None]] = None):
+        """Run ``fn()`` under this policy; the last failure propagates."""
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except ReproError as exc:
+                if attempt >= self.max_attempts or not self.retryable(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.sleep(self.delay_s(attempt))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_s": self.backoff_s,
+            "multiplier": self.multiplier,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+
+class Deadline:
+    """A wall-clock budget, checked cooperatively or enforced via a thread.
+
+    ``run(fn, *args)`` executes *fn* on a daemon worker and joins it for
+    the remaining budget; on expiry the worker is abandoned (daemonised —
+    the simulator cannot be interrupted safely mid-kernel) and
+    :class:`DeadlineExceeded` is raised.  ``check()`` is the cheap
+    cooperative form for code with natural yield points.
+    """
+
+    def __init__(self, timeout_ms: float, *,
+                 clock: Callable[[], float] = time.monotonic):
+        if timeout_ms is None or timeout_ms <= 0:
+            raise ConfigurationError(
+                f"deadline timeout_ms must be > 0, got {timeout_ms}")
+        self.timeout_ms = float(timeout_ms)
+        self._clock = clock
+        self._started = clock()
+
+    @property
+    def elapsed_ms(self) -> float:
+        return (self._clock() - self._started) * 1e3
+
+    @property
+    def remaining_ms(self) -> float:
+        return self.timeout_ms - self.elapsed_ms
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_ms <= 0
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.timeout_ms:g} ms deadline "
+                f"({self.elapsed_ms:.1f} ms elapsed)",
+                timeout_ms=self.timeout_ms,
+            )
+
+    def run(self, fn: Callable[..., object], *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` within the remaining budget."""
+        self.check(getattr(fn, "__name__", "operation"))
+        box: Dict[str, object] = {}
+        done = threading.Event()
+
+        def target() -> None:
+            try:
+                box["value"] = fn(*args, **kwargs)
+            except BaseException as exc:  # delivered to the caller below
+                box["error"] = exc
+            finally:
+                done.set()
+
+        worker = threading.Thread(target=target, daemon=True,
+                                  name="repro-deadline")
+        worker.start()
+        done.wait(max(self.remaining_ms, 0.0) / 1e3)
+        if not done.is_set():
+            raise DeadlineExceeded(
+                f"{getattr(fn, '__name__', 'operation')} exceeded its "
+                f"{self.timeout_ms:g} ms deadline",
+                timeout_ms=self.timeout_ms,
+            )
+        if "error" in box:
+            raise box["error"]  # type: ignore[misc]
+        return box.get("value")
+
+
+class CircuitBreaker:
+    """Per-key failure isolation with an open/half-open cooldown cycle.
+
+    ``threshold`` consecutive failures for one key open its circuit:
+    :meth:`allow` returns False (and :meth:`check` raises
+    :class:`CircuitOpenError`) until ``cooldown_s`` has passed, after which
+    exactly one probe run is let through (half-open).  A success closes the
+    circuit and clears the count; a failure re-opens it for another
+    cooldown.  Thread-safe; keys are arbitrary hashables.
+    """
+
+    def __init__(self, threshold: int = 3, *, cooldown_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if threshold < 1:
+            raise ConfigurationError(
+                f"breaker threshold must be >= 1, got {threshold}")
+        if cooldown_s < 0:
+            raise ConfigurationError("breaker cooldown_s must be >= 0")
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        # key -> [consecutive failures, opened-at timestamp or None, probing]
+        self._states: Dict[object, list] = {}
+
+    def _state(self, key):
+        state = self._states.get(key)
+        if state is None:
+            state = [0, None, False]
+            self._states[key] = state
+        return state
+
+    def allow(self, key) -> bool:
+        """True when a run for *key* may proceed right now."""
+        with self._lock:
+            failures, opened_at, probing = self._state(key)
+            if opened_at is None:
+                return True
+            if probing:
+                return False  # one half-open probe at a time
+            if self._clock() - opened_at >= self.cooldown_s:
+                self._state(key)[2] = True  # half-open: admit one probe
+                return True
+            return False
+
+    def check(self, key) -> None:
+        """Raise :class:`CircuitOpenError` when *key*'s circuit is open."""
+        if not self.allow(key):
+            raise CircuitOpenError(
+                f"circuit open for {key!r}: {self.threshold} consecutive "
+                f"failure(s); retry after the {self.cooldown_s:g} s cooldown",
+                key=key,
+            )
+
+    def record_success(self, key) -> None:
+        with self._lock:
+            self._states[key] = [0, None, False]
+
+    def record_failure(self, key) -> None:
+        with self._lock:
+            state = self._state(key)
+            state[0] += 1
+            state[2] = False
+            if state[0] >= self.threshold:
+                state[1] = self._clock()
+
+    def state(self, key) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` for *key*."""
+        with self._lock:
+            failures, opened_at, probing = self._state(key)
+            if opened_at is None:
+                return "closed"
+            if probing or self._clock() - opened_at >= self.cooldown_s:
+                return "half-open"
+            return "open"
+
+    def info(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot of every tracked key's failure count and state."""
+        with self._lock:
+            keys = list(self._states)
+        return {str(key): {"failures": self._states[key][0],
+                           "state": self.state(key)}
+                for key in keys}

@@ -543,6 +543,21 @@ class Workload:
 
         return await asyncio.to_thread(self.run, request)
 
+    def run_resilient(self, request: RunRequest, *, retry=None,
+                      timeout_ms=None, degrade: bool = True) -> WorkloadResult:
+        """Run with retries, a per-attempt deadline and degradation.
+
+        Façade over :func:`repro.resilience.run_resilient`: *retry* is a
+        :class:`~repro.resilience.RetryPolicy` or an attempt count,
+        *timeout_ms* bounds each attempt, and ``degrade`` enables the
+        tuned→untuned and executor fallback ladder.  The returned result
+        carries a ``provenance["resilience"]`` record.
+        """
+        from ..resilience import run_resilient
+
+        return run_resilient(self, request, retry=retry,
+                             timeout_ms=timeout_ms, degrade=degrade)
+
     def _fold_verification_failure(self, request: RunRequest,
                                    exc: VerificationError) -> WorkloadResult:
         # Re-run without verification so the folded result still carries

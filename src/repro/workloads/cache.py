@@ -288,7 +288,8 @@ def configure_result_cache(*, maxsize: Optional[int] = None,
 
 def run_cached(request: RunRequest, *,
                cache: Optional[ResultCache] = None,
-               workload=None) -> WorkloadResult:
+               workload=None,
+               runner=None) -> WorkloadResult:
     """Run *request* through its workload, memoised by request.
 
     Uses the module default cache unless an explicit :class:`ResultCache`
@@ -296,6 +297,9 @@ def run_cached(request: RunRequest, *,
     :class:`~repro.workloads.base.Workload` instance (required when it is
     not in the registry — e.g. an ad-hoc subclass driven through a sweep);
     otherwise the request's workload name is resolved through the registry.
+    *runner* replaces ``workload.run`` as the miss-path computation — the
+    resilience layer passes its retry/deadline/degradation wrapper here so
+    cached sweeps recover from faults without bypassing the memo.
 
     Concurrent callers holding the *same* request coalesce into one run
     (single-flight): exactly one computes and stores, the rest read the
@@ -311,13 +315,14 @@ def run_cached(request: RunRequest, *,
 
     target = cache if cache is not None else _default_cache
     wl = workload if workload is not None else get_workload(request.workload)
+    run = runner if runner is not None else wl.run
     if request.tune != "off":
-        return wl.run(request)
+        return run(request)
     with target.locked(request):
         result = target.get(request)
         if result is not None:
             return result
-        result = wl.run(request)
+        result = run(request)
         target.put(request, result)
     return result
 

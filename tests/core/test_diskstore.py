@@ -1,8 +1,19 @@
-"""Tests for the shared disk-store byte-budget helper."""
+"""Tests for the shared disk-store helpers (budget, checksum, quarantine)."""
 
+import json
 import os
+import warnings
 
-from repro.core.diskstore import dir_size_bytes, prune_dir_to_budget
+import pytest
+
+from repro.core.diskstore import (
+    QUARANTINE_DIR,
+    CorruptEntryWarning,
+    dir_size_bytes,
+    prune_dir_to_budget,
+    read_json_entry,
+    write_json_entry,
+)
 
 
 def _write(path, name, nbytes, mtime):
@@ -63,6 +74,163 @@ class TestPrune:
         _write(path, "a.json", 100, 1_000)
         _write(path, "b.txt", 50, 1_000)
         assert dir_size_bytes(path) == 100
+
+
+class TestChecksumRoundTrip:
+    def test_written_entries_read_back_clean(self, tmp_path):
+        path = str(tmp_path / "store" / "entry.json")
+        payload = {"schema": "x/v1", "result": {"value": 1.5,
+                                                "items": [1, 2, 3]}}
+        assert write_json_entry(path, payload, max_bytes=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert read_json_entry(path) == payload
+
+    def test_checksum_is_embedded_on_disk(self, tmp_path):
+        path = str(tmp_path / "entry.json")
+        write_json_entry(path, {"a": 1}, max_bytes=0)
+        with open(path, encoding="utf-8") as fh:
+            raw = json.load(fh)
+        assert "__checksum__" in raw
+        assert "__checksum__" not in read_json_entry(path)
+
+    def test_legacy_entry_without_checksum_still_reads(self, tmp_path):
+        path = str(tmp_path / "entry.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"a": 1}, fh)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert read_json_entry(path) == {"a": 1}
+
+    def test_missing_file_is_a_silent_miss(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert read_json_entry(str(tmp_path / "absent.json")) is None
+
+
+class TestQuarantine:
+    def _quarantined(self, tmp_path, name="entry.json"):
+        return tmp_path / QUARANTINE_DIR / name
+
+    def test_truncated_json_is_quarantined(self, tmp_path):
+        path = str(tmp_path / "entry.json")
+        write_json_entry(path, {"a": 1}, max_bytes=0)
+        with open(path, "r+", encoding="utf-8") as fh:
+            body = fh.read()
+            fh.seek(0)
+            fh.truncate()
+            fh.write(body[: len(body) // 2])  # torn write
+        with pytest.warns(CorruptEntryWarning, match="invalid JSON"):
+            assert read_json_entry(path) is None
+        assert not os.path.exists(path)
+        assert self._quarantined(tmp_path).exists()
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        path = str(tmp_path / "entry.json")
+        write_json_entry(path, {"a": 1}, max_bytes=0)
+        with open(path, encoding="utf-8") as fh:
+            raw = json.load(fh)
+        raw["a"] = 2  # bit-rot: valid JSON, wrong content
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(raw, fh)
+        with pytest.warns(CorruptEntryWarning, match="checksum mismatch"):
+            assert read_json_entry(path) is None
+        assert self._quarantined(tmp_path).exists()
+
+    def test_non_object_entry_is_quarantined(self, tmp_path):
+        path = str(tmp_path / "entry.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("[1, 2, 3]")
+        with pytest.warns(CorruptEntryWarning, match="not a JSON object"):
+            assert read_json_entry(path) is None
+        assert self._quarantined(tmp_path).exists()
+
+    def test_quarantine_preserves_the_damaged_bytes(self, tmp_path):
+        path = str(tmp_path / "entry.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{damaged")
+        with pytest.warns(CorruptEntryWarning):
+            read_json_entry(path)
+        assert self._quarantined(tmp_path).read_text() == "{damaged"
+
+    def test_quarantine_dir_is_invisible_to_prune(self, tmp_path):
+        path = str(tmp_path / "entry.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{damaged")
+        with pytest.warns(CorruptEntryWarning):
+            read_json_entry(path)
+        _write(str(tmp_path), "good.json", 100, 1_000)
+        assert dir_size_bytes(str(tmp_path)) == 100
+        assert prune_dir_to_budget(str(tmp_path), 1_000) == 0
+        assert self._quarantined(tmp_path).exists()
+
+
+class TestStoreSelfHealing:
+    """The stores detect corruption, quarantine it, warn and recompute."""
+
+    def _corrupt_all(self, directory):
+        count = 0
+        for entry in directory.iterdir():
+            if entry.suffix == ".json":
+                entry.write_text("{torn-write")
+                count += 1
+        return count
+
+    def test_result_cache_heals_a_corrupt_entry(self, tmp_path):
+        from repro.harness.runner import MeasurementProtocol
+        from repro.workloads import get_workload
+        from repro.workloads.cache import ResultCache, run_cached
+
+        wl = get_workload("stencil")
+        request = wl.make_request(
+            params={"L": 20}, verify=False,
+            protocol=MeasurementProtocol(warmup=0, repeats=1))
+        store = tmp_path / "cache"
+        first = run_cached(request,
+                           cache=ResultCache(disk_dir=str(store)),
+                           workload=wl)
+        assert self._corrupt_all(store / "results") == 1
+
+        fresh = ResultCache(disk_dir=str(store))
+        with pytest.warns(CorruptEntryWarning):
+            healed = run_cached(request, cache=fresh, workload=wl)
+        assert healed.metrics == first.metrics
+        assert fresh.info()["misses"] == 1  # corruption read as a miss
+        assert (store / "results" / QUARANTINE_DIR).exists()
+        # the store healed: a third cache sees a clean disk hit
+        again = ResultCache(disk_dir=str(store))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_cached(request, cache=again, workload=wl)
+        assert again.info()["disk_hits"] == 1
+
+    def test_tuning_db_heals_a_corrupt_record(self, tmp_path):
+        from repro.harness.runner import MeasurementProtocol
+        from repro.tuning.db import TuningDB
+        from repro.tuning.tuner import Tuner
+        from repro.workloads import get_workload
+
+        wl = get_workload("stencil")
+        request = wl.make_request(
+            params={"L": 20}, verify=False,
+            protocol=MeasurementProtocol(warmup=0, repeats=1))
+        store = tmp_path / "tune"
+        db = TuningDB(disk_dir=str(store))
+        outcome = Tuner(wl, request, db=db, budget=3, probe=False).search()
+        assert outcome.record is not None
+        assert self._corrupt_all(store / "records") == 1
+
+        space = wl.tuning_space(request)
+        fresh = TuningDB(disk_dir=str(store))
+        with pytest.warns(CorruptEntryWarning):
+            assert fresh.get(request, space) is None  # miss, not a crash
+        assert (store / "records" / QUARANTINE_DIR).exists()
+        # re-tuning repopulates the store over the quarantined wreckage
+        Tuner(wl, request, db=fresh, budget=3, probe=False).search()
+        again = TuningDB(disk_dir=str(store))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert again.get(request, space) is not None
 
 
 class TestResultCacheBudget:

@@ -1,0 +1,11 @@
+"""Shared helpers for the resilience/chaos suite."""
+
+from repro.harness.runner import MeasurementProtocol
+
+FAST = MeasurementProtocol(warmup=0, repeats=2)
+
+
+def stencil_request(wl, L=18, **overrides):
+    fields = dict(params={"L": L}, protocol=FAST)
+    fields.update(overrides)
+    return wl.make_request(**fields)

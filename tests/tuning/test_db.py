@@ -114,13 +114,16 @@ class TestRoundtrip:
         records = os.path.join(str(tmp_path), "records")
         [name] = os.listdir(records)
         path = os.path.join(records, name)
-        with open(path) as fh:
-            payload = json.load(fh)
+        from repro.core.diskstore import read_json_entry, write_json_entry
+
+        payload = read_json_entry(path)
         payload["schema"] = "repro.tuning-record/v0"
-        with open(path, "w") as fh:
-            json.dump(payload, fh)
+        # rewrite through the store so the checksum matches: the *schema*
+        # check must reject the record, not the corruption guard
+        write_json_entry(path, payload, max_bytes=0)
         fresh = TuningDB(disk_dir=str(tmp_path))
         assert fresh.get(request) is None
+        assert os.path.exists(path)  # foreign schema is not quarantined
 
     def test_record_roundtrips_through_dict(self):
         record = _record()

@@ -1,0 +1,76 @@
+"""Functional probe behaviour, including the per-candidate deadline."""
+
+import time
+
+import pytest
+
+from repro.harness.runner import MeasurementProtocol
+from repro.tuning.probe import DEFAULT_PROBE_TIMEOUT_MS, run_probe
+from repro.tuning.tuner import Tuner
+from repro.workloads import get_workload
+
+FAST = MeasurementProtocol(warmup=0, repeats=1)
+
+
+def _request(wl, **overrides):
+    fields = dict(params={"L": 20}, verify=False, protocol=FAST)
+    fields.update(overrides)
+    return wl.make_request(**fields)
+
+
+class TestRunProbe:
+    def test_probe_succeeds_within_budget(self):
+        wl = get_workload("stencil")
+        probe = run_probe(wl, _request(wl), repeats=2)
+        assert probe is not None and probe.ok
+        assert probe.replays == 2
+
+    def test_workload_without_probe_returns_none(self):
+        wl = get_workload("hartreefock")
+        request = wl.make_request(verify=False, protocol=FAST)
+        if wl.tuning_probe(request) is not None:
+            pytest.skip("workload grew a probe; pick another")
+        assert run_probe(wl, request) is None
+
+    def test_hung_probe_is_a_failed_candidate_not_a_stall(self, monkeypatch):
+        wl = get_workload("stencil")
+
+        def hang(self, request):
+            time.sleep(5.0)
+
+        # patch the class: an instance patch would leave a shadowing bound
+        # method behind on teardown (the registry workload is a singleton)
+        monkeypatch.setattr(type(wl), "tuning_probe", hang)
+        start = time.monotonic()
+        probe = run_probe(wl, _request(wl), timeout_ms=50.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 2.0  # did not wait for the hung probe
+        assert probe is not None and not probe.ok
+        assert "deadline" in probe.error
+        assert probe.makespan_ms == float("inf")
+
+    def test_timeout_none_runs_inline(self):
+        wl = get_workload("stencil")
+        probe = run_probe(wl, _request(wl), timeout_ms=None)
+        assert probe is not None and probe.ok
+
+
+class TestTunerTimeoutWiring:
+    def test_default_budget_is_threaded_through(self):
+        wl = get_workload("stencil")
+        tuner = Tuner(wl, _request(wl), budget=3)
+        assert tuner.probe_timeout_ms == DEFAULT_PROBE_TIMEOUT_MS
+
+    def test_timed_out_candidate_recorded_as_failed(self, monkeypatch):
+        wl = get_workload("stencil")
+        request = _request(wl)
+        from repro.tuning.db import TuningDB
+
+        monkeypatch.setattr(type(wl), "tuning_probe",
+                            lambda self, req: time.sleep(5.0))
+        tuner = Tuner(wl, request, db=TuningDB(disk_dir=None), budget=2,
+                      probe_timeout_ms=50.0)
+        outcome = tuner.search(persist=False)
+        assert outcome.evaluations  # the search still completed
+        assert all(not e.ok for e in outcome.evaluations)
+        assert outcome.best is None
