@@ -328,3 +328,24 @@ def test_bench_vectorized_babelstream_dot(benchmark):
 
     result = benchmark(run)
     np.testing.assert_allclose(result.sum(), a_store @ b_store, rtol=1e-10)
+
+
+def test_bench_lint_vector_safe_hot_path(benchmark):
+    """Launch-path vector-safety resolution must stay attribute-read cheap.
+
+    Every vectorized dispatch consults ``kernel_vector_safe``; the static
+    analyser must only ever run behind the opt-in surfaces (``strict=``,
+    ``capture(check=True)``, ``repro lint``), so a declared kernel's hot
+    path is a couple of attribute reads.  A thousand resolutions per
+    round keeps the timing above clock noise; a regression here means
+    analysis leaked into the launch path.
+    """
+    from repro.gpu.vector_executor import kernel_vector_safe
+
+    def run():
+        ok = True
+        for _ in range(1000):
+            ok &= kernel_vector_safe(laplacian_kernel, infer=True)
+        return ok
+
+    assert benchmark(run) is True

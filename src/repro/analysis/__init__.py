@@ -1,0 +1,52 @@
+"""Static analysis over kernel ASTs and device graphs (``repro lint``).
+
+The paper's central argument is that a compiler which *understands* the
+kernel — its layout, parallelism and synchronisation structure — can prove
+properties before anything runs.  This package is that layer for the
+simulated substrate:
+
+:mod:`~repro.analysis.verifier`
+    Parses each ``@kernel`` body with :mod:`ast` and walks it against a
+    model of the SIMT intrinsic surface (``thread_idx`` / ``barrier`` /
+    ``shared_array`` / the lane helpers / atomics).  It *infers* whether a
+    body is safe for lockstep (vectorized) execution instead of trusting
+    the hand-set ``vector_safe`` flag, and reports barrier divergence,
+    shared-memory races between barriers, unguarded lane-dependent tensor
+    indexing and non-SIMT-safe Python constructs.
+
+:mod:`~repro.analysis.racecheck`
+    A happens-before analysis over enqueued device operations (a captured
+    :class:`~repro.core.device.DeviceGraph` or a raw op list): conflicting
+    buffer accesses on different streams with no event edge, use-after-free
+    and dead (written-never-read) transfers — the modelled-GPU analogue of
+    compute-sanitizer's racecheck.
+
+:mod:`~repro.analysis.lint`
+    Orchestration for the ``repro lint`` CLI and the CI gate: verify every
+    registered kernel, capture each workload's lint graph and run it
+    through the race detector, and render the findings as text or JSON.
+
+Analysis runs at decoration time (``@kernel(strict=True)``), capture time
+(``ctx.capture(check=True)``) or lint time — never on the hot launch /
+replay path, so the unused-path overhead is zero.
+"""
+
+from .diagnostics import Diagnostic, LintReport, Severity
+from .lint import lint_graphs, lint_kernels, run_lint, shipped_kernels
+from .racecheck import analyze_graph, analyze_ops
+from .verifier import VerifierResult, lint_kernel, verify_kernel
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "VerifierResult",
+    "analyze_graph",
+    "analyze_ops",
+    "lint_graphs",
+    "lint_kernel",
+    "lint_kernels",
+    "run_lint",
+    "shipped_kernels",
+    "verify_kernel",
+]

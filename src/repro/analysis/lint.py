@@ -1,0 +1,111 @@
+"""Orchestration for ``repro lint``: verify kernels, race-check graphs.
+
+Two populations are analysed:
+
+* **kernels** — everything created through the :func:`repro.core.kernel.kernel`
+  decorator.  :func:`shipped_kernels` imports the four science-kernel
+  modules so their registrations exist even when nothing else has imported
+  them yet, then snapshots the registry.
+* **graphs** — each registered workload's :meth:`~repro.workloads.base.Workload.lint_graph`
+  capture (a reduced-size recording of its real device pipeline), run
+  through the happens-before race detector.
+
+Everything is aggregated into one :class:`~repro.analysis.diagnostics.LintReport`;
+the CLI and the CI gate fail on any error-severity diagnostic.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Iterable, Optional, Sequence
+
+from .diagnostics import LintReport
+from .racecheck import analyze_graph
+from .verifier import lint_kernel
+
+__all__ = ["lint_graphs", "lint_kernels", "run_lint", "shipped_kernels"]
+
+#: modules whose import registers the shipped science kernels
+_KERNEL_MODULES = (
+    "repro.kernels.stencil.kernel",
+    "repro.kernels.babelstream.kernels",
+    "repro.kernels.minibude.kernel",
+    "repro.kernels.hartreefock.kernel",
+)
+
+
+def shipped_kernels() -> Dict[str, object]:
+    """All decorator-registered kernels, with the shipped modules imported.
+
+    Returns ``{name: Kernel}``, sorted by name.  Includes any kernels other
+    imported modules registered — the lint contract is that *every*
+    registered kernel verifies, not just the four headline ones.
+    """
+    for module in _KERNEL_MODULES:
+        importlib.import_module(module)
+    from ..core.kernel import registered_kernels
+
+    return registered_kernels()
+
+
+def lint_kernels(kernels: Optional[Iterable] = None) -> LintReport:
+    """Verify *kernels* (default: :func:`shipped_kernels`) into a report."""
+    report = LintReport()
+    if kernels is None:
+        items = list(shipped_kernels().items())
+    elif isinstance(kernels, dict):
+        items = sorted(kernels.items())
+    else:
+        items = sorted((getattr(k, "name", getattr(k, "__name__", repr(k))), k)
+                       for k in kernels)
+    for name, kern in items:
+        report.kernels.append(name)
+        report.extend(lint_kernel(kern))
+    return report
+
+
+def lint_graphs(workloads: Optional[Sequence[str]] = None) -> LintReport:
+    """Race-check each workload's lint graph (default: all registered).
+
+    A workload whose :meth:`lint_graph` returns None is recorded as a note;
+    one whose capture itself raises becomes an error-severity diagnostic —
+    a pipeline that cannot even be captured must not pass the lint gate
+    silently.
+    """
+    from ..workloads import get_workload, list_workloads
+    from .diagnostics import Diagnostic, Severity
+
+    report = LintReport()
+    names = list(workloads) if workloads else list(list_workloads())
+    for name in names:
+        workload = get_workload(name)
+        try:
+            graph = workload.lint_graph()
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            report.add(Diagnostic(
+                rule="GR200", severity=Severity.ERROR,
+                subject=workload.name,
+                message=f"lint_graph() failed to capture: {exc}",
+                category="graph"))
+            continue
+        if graph is None:
+            report.notes.append(
+                f"workload {workload.name!r} declares no lint graph")
+            continue
+        report.graphs.append(getattr(graph, "name", workload.name))
+        report.extend(analyze_graph(graph))
+    return report
+
+
+def run_lint(workloads: Optional[Sequence[str]] = None, *,
+             graphs: bool = True) -> LintReport:
+    """The full ``repro lint`` pass: every kernel, then the workload graphs.
+
+    *workloads* filters the graph population only — kernel verification is
+    cheap (one memoised AST walk each) and always runs over the whole
+    registry, so a narrowed lint cannot hide a broken kernel.
+    """
+    report = lint_kernels()
+    if graphs:
+        report.merge(lint_graphs(workloads))
+    return report

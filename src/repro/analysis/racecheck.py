@@ -1,0 +1,225 @@
+"""Happens-before race analysis over enqueued device operations.
+
+The modelled-GPU analogue of compute-sanitizer's racecheck.  The input is
+an ordered list of device operations — a captured
+:class:`~repro.core.device.DeviceGraph`'s ops or a context's pending queue —
+and the analysis rebuilds the ordering the runtime itself guarantees:
+
+* **program order** within one stream (streams are FIFO), and
+* **event edges**: an operation that waits on an event happens-after the
+  latest ``record`` of that event preceding it in enqueue order (the same
+  resolution rule ``DeviceGraph._compile`` uses).
+
+Two operations on *different* streams with no happens-before path between
+them run concurrently on the modelled device.  If one of them writes a
+buffer the other touches, the replayed interleaving the runtime happens to
+pick is the only thing standing between the program and a wrong answer —
+that is rule ``GR201``.
+
+Rules
+-----
+``GR201`` cross-stream race — conflicting accesses (write/write or
+read/write) to one buffer from unordered operations on different streams.
+
+``GR202`` use-after-free — an operation whose buffer was freed before the
+analysis ran (the op would raise at drain time; the diagnostic names the
+enqueue site when the runtime captured one).
+
+``GR203`` dead transfer — an H2D copy or memset whose buffer is never read
+afterwards (no kernel consumes it, no D2H downloads it): the transfer's
+modelled bandwidth cost buys nothing.  Warning severity.
+
+The walk is duck-typed over the runtime's ``_Op`` records (``kind`` /
+``stream`` / ``waits`` / ``event`` / ``buffers`` / ``meta``), so this
+module never imports :mod:`repro.core.device` — the device layer can
+lazily import *us* for ``ctx.capture(check=True)`` without a cycle.
+Kernel operations that carry explicit ``reads`` / ``writes`` buffer sets
+use them; otherwise access sets are derived from the captured argument
+list (``mut=False`` tensors are read-only, ``mut=True`` tensors and bare
+buffers conservatively read+write).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "RULE_CROSS_STREAM_RACE",
+    "RULE_USE_AFTER_FREE",
+    "RULE_DEAD_TRANSFER",
+    "analyze_graph",
+    "analyze_ops",
+]
+
+RULE_CROSS_STREAM_RACE = "GR201"
+RULE_USE_AFTER_FREE = "GR202"
+RULE_DEAD_TRANSFER = "GR203"
+
+#: op kinds that only write their buffer
+_WRITE_KINDS = ("h2d", "memset")
+#: op kinds that only read their buffer
+_READ_KINDS = ("d2h",)
+
+
+def _is_buffer(obj) -> bool:
+    return hasattr(obj, "freed") and hasattr(obj, "label") \
+        and hasattr(obj, "count")
+
+
+def _kernel_accesses(args: Sequence) -> Tuple[tuple, tuple]:
+    """(reads, writes) derived from a captured kernel argument list."""
+    reads: Dict[int, object] = {}
+    writes: Dict[int, object] = {}
+    for a in args:
+        buf = getattr(a, "device_buffer", None)
+        if buf is not None:
+            reads[id(buf)] = buf
+            if getattr(a, "mut", True):
+                writes[id(buf)] = buf
+        elif _is_buffer(a):
+            reads[id(a)] = a
+            writes[id(a)] = a
+    return tuple(reads.values()), tuple(writes.values())
+
+
+def _op_accesses(op) -> Tuple[tuple, tuple]:
+    """(reads, writes) buffer sets of one operation."""
+    reads = getattr(op, "reads", None)
+    writes = getattr(op, "writes", None)
+    if reads is not None or writes is not None:
+        return tuple(reads or ()), tuple(writes or ())
+    kind = getattr(op, "kind", "")
+    buffers = tuple(getattr(op, "buffers", ()) or ())
+    if kind in _WRITE_KINDS:
+        return (), buffers
+    if kind in _READ_KINDS:
+        return buffers, ()
+    if kind == "kernel":
+        meta = getattr(op, "meta", None) or {}
+        args = meta.get("args")
+        if args is not None:
+            return _kernel_accesses(args)
+        return buffers, buffers
+    return (), ()                       # "event" markers touch no memory
+
+
+def _op_site(op) -> str:
+    site = getattr(op, "site", None)
+    return f" (enqueued at {site})" if site else ""
+
+
+def analyze_ops(ops: Sequence, *, subject: str = "<ops>",
+                source: str = "") -> List[Diagnostic]:
+    """Race-check an ordered device-operation list; returns diagnostics.
+
+    *ops* is any sequence of ``_Op``-shaped records in enqueue order —
+    enqueue order is a valid topological order of the stream/event DAG, so
+    happens-before sets can be built in one forward pass.
+    """
+    diags: List[Diagnostic] = []
+    n = len(ops)
+    accesses = [_op_accesses(op) for op in ops]
+
+    # ---------------------------------------------------------------- GR202
+    for op, (reads, writes) in zip(ops, accesses):
+        for buf in dict((id(b), b) for b in (*reads, *writes)).values():
+            if getattr(buf, "freed", False):
+                diags.append(Diagnostic(
+                    rule=RULE_USE_AFTER_FREE, severity=Severity.ERROR,
+                    subject=f"{subject}:{op.name}",
+                    message=f"{op.kind} operation {op.name!r} uses freed "
+                            f"buffer {buf.label!r}{_op_site(op)}",
+                    source=source, category="graph"))
+
+    # ------------------------------------------------- happens-before sets
+    hb: List[Set[int]] = [set() for _ in range(n)]
+    last_on_stream: Dict[str, int] = {}
+    latest_record: Dict[int, int] = {}
+    for i, op in enumerate(ops):
+        stream = getattr(getattr(op, "stream", None), "name", "default")
+        preds: List[int] = []
+        prev = last_on_stream.get(stream)
+        if prev is not None:
+            preds.append(prev)
+        for ev in getattr(op, "waits", ()) or ():
+            rec = latest_record.get(id(ev))
+            if rec is not None:
+                preds.append(rec)
+        for p in preds:
+            hb[i].add(p)
+            hb[i] |= hb[p]
+        last_on_stream[stream] = i
+        ev = getattr(op, "event", None)
+        if ev is not None:
+            latest_record[id(ev)] = i
+
+    # ---------------------------------------------------------------- GR201
+    reported: Set[Tuple[str, str, str]] = set()
+    for j in range(n):
+        r_j, w_j = accesses[j]
+        if not (r_j or w_j):
+            continue
+        stream_j = getattr(getattr(ops[j], "stream", None), "name", "default")
+        for i in range(j):
+            stream_i = getattr(getattr(ops[i], "stream", None), "name",
+                               "default")
+            if stream_i == stream_j or i in hb[j]:
+                continue                # FIFO or an event edge orders them
+            r_i, w_i = accesses[i]
+            conflicts = {id(b): b for b in w_i
+                         if any(b is o for o in (*r_j, *w_j))}
+            conflicts.update((id(b), b) for b in w_j
+                             if any(b is o for o in (*r_i, *w_i)))
+            for buf in conflicts.values():
+                key = (buf.label, ops[i].name, ops[j].name)
+                if key in reported:
+                    continue
+                reported.add(key)
+                diags.append(Diagnostic(
+                    rule=RULE_CROSS_STREAM_RACE, severity=Severity.ERROR,
+                    subject=f"{subject}:{buf.label}",
+                    message=f"{ops[i].kind} {ops[i].name!r} (stream "
+                            f"{stream_i!r}) and {ops[j].kind} "
+                            f"{ops[j].name!r} (stream {stream_j!r}) both "
+                            f"touch buffer {buf.label!r} with no event "
+                            f"edge between them; record an Event after "
+                            f"the first and stream.wait() it before the "
+                            f"second{_op_site(ops[j])}",
+                    source=source, category="graph"))
+
+    # ---------------------------------------------------------------- GR203
+    for i in range(n):
+        op = ops[i]
+        if op.kind not in _WRITE_KINDS:
+            continue
+        _, writes = accesses[i]
+        for buf in writes:
+            read_later = any(
+                any(b is buf for b in accesses[j][0])
+                for j in range(i + 1, n))
+            if not read_later:
+                diags.append(Diagnostic(
+                    rule=RULE_DEAD_TRANSFER, severity=Severity.WARNING,
+                    subject=f"{subject}:{buf.label}",
+                    message=f"{op.kind} {op.name!r} writes buffer "
+                            f"{buf.label!r} which nothing reads afterwards "
+                            f"(no kernel consumes it, no D2H downloads "
+                            f"it); the transfer cost buys nothing"
+                            f"{_op_site(op)}",
+                    source=source, category="graph"))
+    return diags
+
+
+def analyze_graph(graph) -> List[Diagnostic]:
+    """Race-check a captured :class:`DeviceGraph` (or anything op-shaped).
+
+    Accepts the graph object itself (its recorded ``_ops`` are analysed)
+    and names findings after the graph.
+    """
+    ops = getattr(graph, "_ops", None)
+    if ops is None:
+        ops = list(graph)
+    name = getattr(graph, "name", "<graph>")
+    return analyze_ops(ops, subject=name, source="")

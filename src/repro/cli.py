@@ -35,6 +35,13 @@ Subcommands
     Regenerate experiment reports as one markdown document (the
     ``EXPERIMENTS.md`` the result modules reference), ending with the
     tuned-vs-untuned portability section (``--no-tuning`` skips it).
+``lint``
+    Static analysis over the kernel registry and the workload device
+    graphs: the AST kernel verifier (vector-safety inference, barrier
+    divergence, shared-memory races, unguarded indexing) plus the
+    happens-before stream race detector on each workload's
+    ``lint_graph()`` capture.  ``repro lint --all --json`` is the CI
+    gate; exit 1 means at least one error-severity diagnostic.
 ``bench-compare``
     Guard the host-execution microbenchmarks against performance
     regressions: compare a pytest-benchmark export (running the benchmarks
@@ -267,6 +274,22 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--no-tuning", action="store_true",
                        help="skip the tuned-vs-untuned portability section")
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="statically verify kernels and race-check workload graphs")
+    lint_p.add_argument("workloads", nargs="*", default=[],
+                        help="workload names whose lint graphs to race-check "
+                             "(kernel verification always covers the whole "
+                             "registry)")
+    lint_p.add_argument("--all", action="store_true", dest="lint_all",
+                        help="lint every registered workload graph (the "
+                             "default when no workload is named; spelled out "
+                             "for the CI gate)")
+    lint_p.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    lint_p.add_argument("--no-graphs", action="store_true",
+                        help="verify kernels only, skip the graph race check")
+
     bench_p = sub.add_parser(
         "bench-compare",
         help="compare host-execution benchmarks against the stored baseline")
@@ -288,6 +311,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "entries not exercised are reported as "
                               "'missing' without failing")
     return parser
+
+
+def _cmd_lint(args) -> int:
+    """``repro lint``: kernel verifier + graph race detector, one report.
+
+    Exit 0 when clean (warnings allowed), 1 on any error-severity
+    diagnostic — that asymmetry is the CI contract: warnings surface in
+    the report without blocking a merge.
+    """
+    from .analysis import run_lint
+
+    names = None if (args.lint_all or not args.workloads) else args.workloads
+    report = run_lint(names, graphs=not args.no_graphs)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_list() -> int:
@@ -757,7 +798,7 @@ def _cmd_report(ids: List[str], *, write: Optional[str], full: bool,
 #: ``bench-compare --quick`` (the executor/dispatch/graph-launch
 #: microbenchmarks — the paths substrate changes regress first — while the
 #: multi-second reference benches stay out of the tier-1 flow)
-QUICK_BENCH_EXPR = "executor or dispatch or vectorized or graph or tuned"
+QUICK_BENCH_EXPR = "executor or dispatch or vectorized or graph or tuned or lint"
 
 
 def _run_host_benchmarks(bench_file: str, *, quick: bool = False,
@@ -932,6 +973,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         return _cmd_report(args.ids, write=args.write, full=args.full,
                            tuning=not args.no_tuning)
+    if args.command == "lint":
+        try:
+            return _cmd_lint(args)
+        except ReproError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
     if args.command == "bench-compare":
         return _cmd_bench_compare(baseline=args.baseline, current=args.current,
                                   threshold=args.threshold, update=args.update,

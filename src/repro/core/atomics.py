@@ -32,7 +32,15 @@ from .errors import LaunchError
 from .intrinsics import current_thread_state
 from .layout import LayoutTensor
 
-__all__ = ["Atomic", "atomic_add", "atomic_max", "atomic_min", "AtomicView"]
+__all__ = ["Atomic", "atomic_add", "atomic_max", "atomic_min", "AtomicView",
+           "ATOMIC_FUNCTIONS"]
+
+#: names of the atomic read-modify-write entry points, for the static
+#: kernel verifier — an atomic access is data-race-free by definition, but
+#: its *index* argument is still subject to the bounds rules
+ATOMIC_FUNCTIONS = ("fetch_add", "fetch_max", "fetch_min",
+                    "compare_exchange", "atomic_add", "atomic_max",
+                    "atomic_min")
 
 _ATOMIC_LOCK = threading.Lock()
 

@@ -55,6 +55,7 @@ amortises host-side launch overhead across sweep repeats.
 from __future__ import annotations
 
 import itertools
+import sys
 import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -375,16 +376,25 @@ def _noop() -> None:
 
 
 class _Op:
-    """One enqueued device operation: a DAG node awaiting execution."""
+    """One enqueued device operation: a DAG node awaiting execution.
+
+    ``reads`` / ``writes`` are the operation's declared buffer access sets
+    (None: derived from ``kind``/``meta`` by consumers — see
+    :func:`repro.analysis.racecheck._op_accesses`); ``site`` is the
+    user-code enqueue location, captured only when the context records
+    sites (lint / strict mode), so the default enqueue path pays nothing.
+    """
 
     __slots__ = ("kind", "name", "stream", "waits", "buffers", "work",
-                 "event", "meta")
+                 "event", "meta", "reads", "writes", "site")
 
     def __init__(self, kind: str, name: str, stream: Stream,
                  waits: Tuple[Event, ...], buffers: Tuple[DeviceBuffer, ...],
                  work: Callable[[], Tuple[float, Optional[ExecutionResult], dict]],
                  event: Optional[Event] = None,
-                 meta: Optional[dict] = None):
+                 meta: Optional[dict] = None,
+                 reads: Optional[Tuple[DeviceBuffer, ...]] = None,
+                 writes: Optional[Tuple[DeviceBuffer, ...]] = None):
         self.kind = kind
         self.name = name
         self.stream = stream
@@ -393,6 +403,9 @@ class _Op:
         self.work = work
         self.event = event
         self.meta = meta
+        self.reads = reads
+        self.writes = writes
+        self.site = None
 
 
 @dataclass
@@ -663,20 +676,45 @@ class DeviceGraph:
 class _GraphCapture:
     """Context manager returned by :meth:`DeviceContext.capture`."""
 
-    def __init__(self, ctx: "DeviceContext", name: str):
+    def __init__(self, ctx: "DeviceContext", name: str, check: bool = False):
         self.ctx = ctx
+        self.check = bool(check)
         self.graph = DeviceGraph(ctx, name)
+        self._saved_record_sites = False
 
     def __enter__(self) -> DeviceGraph:
         if self.ctx._capture is not None:
             raise DeviceError("a device-graph capture is already active")
         self.ctx._capture = self.graph
+        if self.check:
+            # checked captures get enqueue sites for free, so a finding can
+            # name the line that issued the racy op
+            self._saved_record_sites = self.ctx.record_sites
+            self.ctx.record_sites = True
         return self.graph
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.ctx._capture = None
+        if self.check:
+            self.ctx.record_sites = self._saved_record_sites
         if exc_type is None:
             self.graph._compile()
+            if self.check:
+                self._race_check()
+
+    def _race_check(self) -> None:
+        # Local import: the analysis package consumes this module.
+        from .errors import AnalysisError
+        from ..analysis.racecheck import analyze_graph
+
+        errors = [d for d in analyze_graph(self.graph)
+                  if d.severity == "error"]
+        if errors:
+            findings = "\n".join(f"  {d}" for d in errors)
+            raise AnalysisError(
+                f"captured graph {self.graph.name!r} failed the race "
+                f"check:\n{findings}"
+            )
 
 
 #: fraction of peak DRAM bandwidth a device-side memset achieves
@@ -699,9 +737,15 @@ class DeviceContext:
     """
 
     def __init__(self, gpu="h100", *, eager: bool = True,
-                 executor: Optional[KernelExecutor] = None):
+                 executor: Optional[KernelExecutor] = None,
+                 record_sites: bool = False):
         self.spec: GPUSpec = get_gpu(gpu)
         self.eager = bool(eager)
+        #: when True every enqueue captures its user-code ``file:line`` on
+        #: the op (one frame walk per enqueue) so diagnostics — notably
+        #: use-after-free at drain time — can name where the bad op was
+        #: issued.  Off by default: the hot enqueue path pays nothing.
+        self.record_sites = bool(record_sites)
         self._tracker = AllocationTracker(self.spec)
         self._transfer_model = TransferModel(self.spec)
         self._executor = executor or KernelExecutor()
@@ -827,9 +871,11 @@ class DeviceContext:
                 details["model"] = model
             return modelled, execution, details
 
+        reads, writes = _split_buffer_accesses(args)
         op = _Op("kernel", kern.name, stream, stream._take_waits(), buffers,
                  work, meta={"kern": kern, "args": args, "launch": launch,
-                             "mode": mode, "model": model, "timing": timing})
+                             "mode": mode, "model": model, "timing": timing},
+                 reads=reads, writes=writes)
         self._submit(op)
 
     def enqueue_fill(self, buf: DeviceBuffer, value, *,
@@ -850,13 +896,19 @@ class DeviceContext:
         self._submit(op)
 
     # --------------------------------------------------------------- capture
-    def capture(self, name: str = "") -> _GraphCapture:
+    def capture(self, name: str = "", *, check: bool = False) -> _GraphCapture:
         """Record the enqueues of a ``with`` block into a :class:`DeviceGraph`.
 
         Nothing executes during capture; run the result with
-        :meth:`DeviceGraph.replay`.
+        :meth:`DeviceGraph.replay`.  With ``check=True`` the captured op
+        list is run through the static race detector
+        (:func:`repro.analysis.racecheck.analyze_graph`) when the block
+        closes, and any error-severity finding — cross-stream race without
+        an event edge, use-after-free — raises
+        :class:`~repro.core.errors.AnalysisError` before the graph can be
+        replayed.  Checked captures also record enqueue sites.
         """
-        return _GraphCapture(self, name)
+        return _GraphCapture(self, name, check=check)
 
     # ------------------------------------------------------------- execution
     def _submit_transfer(self, kind: str, buf: DeviceBuffer,
@@ -880,6 +932,8 @@ class DeviceContext:
         self._submit(op)
 
     def _submit(self, op: _Op) -> None:
+        if self.record_sites:
+            op.site = _caller_site()
         if self._capture is not None:
             self._capture._record(op)
         elif self.eager:
@@ -890,9 +944,10 @@ class DeviceContext:
     def _execute(self, op: _Op) -> StreamEvent:
         for buf in op.buffers:
             if buf.freed:
+                site = f" (enqueued at {op.site})" if op.site else ""
                 raise DeviceError(
                     f"pending {op.kind} operation {op.name!r} uses freed "
-                    f"buffer {buf.label!r}"
+                    f"buffer {buf.label!r}{site}"
                 )
         start = op.stream._clock_ms
         for ev in op.waits:
@@ -1021,3 +1076,40 @@ def _referenced_buffers(args: Sequence) -> Tuple[DeviceBuffer, ...]:
         elif isinstance(a, LayoutTensor) and a.device_buffer is not None:
             found[id(a.device_buffer)] = a.device_buffer
     return tuple(found.values())
+
+
+def _split_buffer_accesses(args: Sequence) -> Tuple[
+        Tuple[DeviceBuffer, ...], Tuple[DeviceBuffer, ...]]:
+    """``(reads, writes)`` buffer sets of a kernel argument list.
+
+    A ``mut=False`` tensor is read-only by contract; ``mut=True`` tensors
+    and bare buffers are conservatively read+write.  This is what the
+    device-graph race detector keys its happens-before conflicts on.
+    """
+    reads: Dict[int, DeviceBuffer] = {}
+    writes: Dict[int, DeviceBuffer] = {}
+    for a in args:
+        if isinstance(a, DeviceBuffer):
+            reads[id(a)] = a
+            writes[id(a)] = a
+        elif isinstance(a, LayoutTensor) and a.device_buffer is not None:
+            buf = a.device_buffer
+            reads[id(buf)] = buf
+            if a.mut:
+                writes[id(buf)] = buf
+    return tuple(reads.values()), tuple(writes.values())
+
+
+#: this module's file, for skipping runtime-internal frames in
+#: :func:`_caller_site`
+_THIS_FILE = __file__
+
+
+def _caller_site() -> Optional[str]:
+    """``file:line`` of the first non-runtime frame of the current enqueue."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        if frame.f_code.co_filename != _THIS_FILE:
+            return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return None  # pragma: no cover - an enqueue always has a caller

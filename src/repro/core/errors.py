@@ -19,6 +19,7 @@ __all__ = [
     "LayoutError",
     "DTypeError",
     "VerificationError",
+    "AnalysisError",
     "DeadlineExceeded",
     "CircuitOpenError",
 ]
@@ -71,6 +72,15 @@ class VerificationError(ReproError):
     def __init__(self, message: str, *, max_rel_error=None):
         super().__init__(message)
         self.max_rel_error = max_rel_error
+
+
+class AnalysisError(ReproError):
+    """Raised when static analysis rejects a kernel or device graph.
+
+    Only opt-in entry points raise it — ``@kernel(strict=True)`` at
+    decoration time and ``ctx.capture(check=True)`` at capture time; the
+    ``repro lint`` CLI reports the same findings without raising.
+    """
 
 
 class DeadlineExceeded(ReproError):

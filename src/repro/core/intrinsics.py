@@ -49,7 +49,34 @@ __all__ = [
     "compress_lanes",
     "masked_gather",
     "masked_store",
+    "SIMT_MODEL",
 ]
+
+#: Static model of the SIMT intrinsic surface, consumed by the kernel
+#: verifier (:mod:`repro.analysis.verifier`).  Groups name the *semantic
+#: role* each intrinsic plays in a lockstep (vectorized) evaluation — what
+#: produces lane-varying values, what reduces them back to uniform ones,
+#: what bounds them, and what synchronises.  New intrinsics must join a
+#: group here (or a new group the verifier learns), otherwise the analysis
+#: treats them as opaque calls.
+SIMT_MODEL = {
+    # module-level proxies whose components differ per lane
+    "lane_index_sources": ("thread_idx", "block_idx"),
+    # proxies that are identical across every lane of a block/grid
+    "uniform_geometry": ("block_dim", "grid_dim"),
+    # calls returning lane-varying indices
+    "lane_index_calls": ("global_idx",),
+    # reductions collapsing a lane-varying mask to one uniform truth value
+    "lane_reductions": ("any_lane", "all_lanes"),
+    # constructs that bound lane-varying values (select/compact)
+    "lane_guards": ("compress_lanes", "lane_where"),
+    # predicated memory accessors (safe at any in-mask index)
+    "masked_accessors": ("masked_gather", "masked_store"),
+    # block shared-memory allocators
+    "shared_allocators": ("shared_array", "stack_allocation"),
+    # block-level synchronisation
+    "barrier_calls": ("barrier",),
+}
 
 
 def ceildiv(a: int, b: int) -> int:

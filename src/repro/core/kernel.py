@@ -19,20 +19,35 @@ to ``ctx.enqueue_function`` in Mojo / ``<<<grid, block>>>`` in CUDA.
 from __future__ import annotations
 
 import functools
+import weakref
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from .dtypes import DType, dtype_from_any
-from .errors import LaunchError
+from .errors import AnalysisError, LaunchError
 from .intrinsics import Dim3, ceildiv
 
 __all__ = [
     "Kernel",
     "kernel",
+    "registered_kernels",
     "LaunchConfig",
     "KernelModel",
     "MemoryPattern",
 ]
+
+#: kernels created through the :func:`kernel` decorator, by name — the
+#: population ``repro lint`` verifies.  Weak values: a kernel dropped by its
+#: module should not be kept alive (and re-verified) by the registry.
+#: Transient ``Kernel(fn)`` wraps (e.g. ``enqueue_function`` normalising a
+#: bare callable) deliberately do not register.
+_REGISTRY: "weakref.WeakValueDictionary[str, Kernel]" = \
+    weakref.WeakValueDictionary()
+
+
+def registered_kernels() -> Dict[str, "Kernel"]:
+    """Snapshot of all decorator-registered kernels, keyed by name."""
+    return dict(sorted(_REGISTRY.items()))
 
 
 class MemoryPattern:
@@ -216,16 +231,30 @@ class Kernel:
         whole lane set per call.  Defaults to False: plain per-thread kernels
         keep the scalar executors.  The flag is also cached on the underlying
         function object so re-wraps of the same callable agree.
+    strict:
+        When True the static kernel verifier (:mod:`repro.analysis`) runs at
+        construction time and any error-severity diagnostic raises
+        :class:`~repro.core.errors.AnalysisError`.  Off by default — the
+        launch path never pays for analysis unless asked.
     """
 
     def __init__(self, fn: Callable, name: Optional[str] = None,
                  model_builder: Optional[Callable[..., KernelModel]] = None,
-                 vector_safe: Optional[bool] = None):
+                 vector_safe: Optional[bool] = None, strict: bool = False):
         if not callable(fn):
             raise LaunchError("Kernel requires a callable kernel body")
         self.fn = fn
         self.name = name or fn.__name__
         self.model_builder = model_builder
+        #: the caller's declaration, tri-state: None = never declared (the
+        #: verifier may then infer), True/False = hand-set here or on the
+        #: underlying function by an earlier wrap
+        if vector_safe is None and hasattr(fn, "_repro_vector_safe"):
+            self.declared_vector_safe: Optional[bool] = \
+                bool(fn._repro_vector_safe)
+        else:
+            self.declared_vector_safe = \
+                None if vector_safe is None else bool(vector_safe)
         if vector_safe is None:
             vector_safe = bool(getattr(fn, "_repro_vector_safe", False))
         self.vector_safe = bool(vector_safe)
@@ -235,6 +264,19 @@ class Kernel:
             except (AttributeError, TypeError):  # pragma: no cover
                 pass
         functools.update_wrapper(self, fn)
+        if strict:
+            self._verify_strict()
+
+    def _verify_strict(self) -> None:
+        # Local import: the analysis package is a consumer of this module.
+        from ..analysis.verifier import lint_kernel
+
+        errors = [d for d in lint_kernel(self) if d.severity == "error"]
+        if errors:
+            findings = "\n".join(f"  {d}" for d in errors)
+            raise AnalysisError(
+                f"kernel {self.name!r} failed strict verification:\n{findings}"
+            )
 
     def __call__(self, *args, **kwargs):
         """Invoke the per-thread body directly (used by the executor)."""
@@ -254,7 +296,7 @@ class Kernel:
 
 def kernel(fn: Optional[Callable] = None, *, name: Optional[str] = None,
            model: Optional[Callable[..., KernelModel]] = None,
-           vector_safe: Optional[bool] = None):
+           vector_safe: Optional[bool] = None, strict: bool = False):
     """Decorator turning a per-thread function into a :class:`Kernel`.
 
     Usable bare (``@kernel``) or with options (``@kernel(model=...)``).
@@ -263,11 +305,19 @@ def kernel(fn: Optional[Callable] = None, *, name: Optional[str] = None,
     explicit ``vector_safe=False`` forces the scalar executors even when the
     underlying function carries a cached vector-safe marking from an earlier
     wrap.  The default (``None``) inherits the function's marking.
+    ``strict=True`` runs the static verifier at decoration time and raises
+    :class:`~repro.core.errors.AnalysisError` on any error diagnostic.
+
+    Decorated kernels join the registry behind
+    :func:`registered_kernels`, which is the population ``repro lint``
+    verifies.
     """
 
     def wrap(f: Callable) -> Kernel:
-        return Kernel(f, name=name, model_builder=model,
-                      vector_safe=vector_safe)
+        k = Kernel(f, name=name, model_builder=model,
+                   vector_safe=vector_safe, strict=strict)
+        _REGISTRY[k.name] = k
+        return k
 
     if fn is not None:
         return wrap(fn)

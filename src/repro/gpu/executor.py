@@ -262,10 +262,13 @@ class KernelExecutor:
             Grid/block extents.
         mode:
             ``"auto"`` (default), ``"vectorized"``, ``"sequential"`` or
-            ``"cooperative"``.  Both ``"auto"`` and an explicit
-            ``"vectorized"`` fall back to the scalar modes when the kernel is
-            not declared vector-safe; the returned result reports the mode
-            that ran.
+            ``"cooperative"``.  ``"auto"`` honours the kernel's declared
+            flag; an explicit ``"vectorized"`` additionally asks the static
+            verifier to *infer* safety for undeclared kernels
+            (:func:`~repro.gpu.vector_executor.kernel_vector_safe` with
+            ``infer=True``).  Both fall back to the scalar modes when the
+            kernel is not (provably) vector-safe; the returned result
+            reports the mode that ran.
         """
         if not isinstance(kern, Kernel):
             kern = Kernel(kern)
@@ -282,7 +285,10 @@ class KernelExecutor:
                 "reference implementation / timing model for large problems"
             )
         if mode in ("auto", "vectorized"):
-            if kernel_vector_safe(kern):
+            # an explicit "vectorized" request is worth an inference pass
+            # (memoised, one AST walk per kernel body ever); "auto" stays
+            # declaration-only so the default path never analyses anything
+            if kernel_vector_safe(kern, infer=(mode == "vectorized")):
                 mode = "vectorized"
             else:
                 mode = "cooperative" if kernel_uses_barrier(kern) else "sequential"
@@ -333,7 +339,8 @@ class KernelExecutor:
                 f"functional launch of {launch.total_threads} threads exceeds "
                 f"the simulator limit of {self.max_total_threads}"
             )
-        if mode in ("auto", "vectorized") and kernel_vector_safe(kern):
+        if mode in ("auto", "vectorized") and \
+                kernel_vector_safe(kern, infer=(mode == "vectorized")):
             per_block = kernel_uses_barrier(kern)
 
             def thunk() -> None:

@@ -51,11 +51,61 @@ __all__ = ["VectorThreadState", "LaneDim3", "kernel_vector_safe",
 VECTOR_CHUNK_LANES = 1 << 18
 
 
-def kernel_vector_safe(kern) -> bool:
-    """True when *kern* declares its body safe for lockstep execution."""
+def kernel_vector_safe(kern, *, infer: bool = False) -> bool:
+    """True when *kern* is safe for lockstep execution.
+
+    A hand-set declaration (``vector_safe=`` on the kernel, or the cached
+    ``_repro_vector_safe`` marking on the function) decides directly — but a
+    ``True`` declaration is cross-checked against the static verifier's
+    verdict, and a refuted declaration warns once per kernel (``repro
+    lint`` reports the same disagreement as a ``KV100`` error).  The
+    runtime still honours the flag so a deliberate override keeps working.
+
+    With ``infer=True`` an *undeclared* kernel is also accepted when the
+    verifier can positively prove its body lockstep-safe — the
+    inference-backed path the explicit ``mode="vectorized"`` request uses.
+    Verification is memoised on the function object, so neither path costs
+    more than one AST walk per kernel body, ever.
+    """
     if isinstance(kern, Kernel):
-        return kern.vector_safe
-    return bool(getattr(kern, "_repro_vector_safe", False))
+        declared = kern.declared_vector_safe
+        if declared is None and kern.vector_safe:
+            declared = True             # constructor-derived marking
+    else:
+        declared = (bool(kern._repro_vector_safe)
+                    if hasattr(kern, "_repro_vector_safe") else None)
+    if declared is not None:
+        if declared:
+            _warn_if_refuted(kern)
+        return declared
+    if not infer:
+        return False
+    from ..analysis.verifier import infer_vector_safe
+
+    return infer_vector_safe(kern) is True
+
+
+def _warn_if_refuted(kern) -> None:
+    """Warn (once per kernel body) when inference refutes a declared flag."""
+    fn = getattr(kern, "fn", kern)
+    if getattr(fn, "_repro_flag_warned", False):
+        return
+    from ..analysis.verifier import verify_kernel
+
+    result = verify_kernel(kern)
+    try:
+        fn._repro_flag_warned = True
+    except (AttributeError, TypeError):  # pragma: no cover - builtins
+        return
+    if result.inferred is False:
+        import warnings
+
+        reasons = "; ".join(result.reasons) or "body rules failed"
+        warnings.warn(
+            f"kernel {result.kernel!r} declares vector_safe=True but the "
+            f"static verifier cannot confirm it ({reasons}); the flag is "
+            f"honoured — run `repro lint` for the full diagnostics",
+            RuntimeWarning, stacklevel=3)
 
 
 class LaneDim3:

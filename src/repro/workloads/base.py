@@ -482,6 +482,22 @@ class Workload:
         """
         return None
 
+    # ------------------------------------------------------------------- lint
+    def lint_graph(self):
+        """A captured :class:`~repro.core.device.DeviceGraph` for ``repro lint``.
+
+        The graph should be representative of the workload's real device
+        pipeline (uploads, kernel launches, downloads, the stream/event
+        edges between them) at a reduced problem size; the lint CLI runs it
+        through the happens-before race detector
+        (:func:`repro.analysis.racecheck.analyze_graph`).  The default
+        reuses :meth:`tuning_probe` on a default request; returning None
+        opts the workload out of graph linting (recorded as a note, not a
+        failure).  New device operations a workload enqueues must declare
+        their buffer read/write sets so this analysis stays sound.
+        """
+        return self.tuning_probe(self.make_request())
+
     # --------------------------------------------------------------- protocol
     def reference(self, **params):
         """Host reference computation (NumPy), for small problem sizes."""

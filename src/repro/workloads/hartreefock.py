@@ -153,6 +153,67 @@ class HartreeFockWorkload(Workload):
                                           surviving_fraction=survivors)
         return model, LaunchConfig.for_elements(nquads, p["block_size"])
 
+    def lint_graph(self):
+        """Two-stream upload → fan-in → ERI kernel → D2H capture (tiny system).
+
+        Mirrors
+        :func:`~repro.kernels.hartreefock.runner.run_hartreefock_functional`
+        with ``streams=2``: the six input uploads round-robin over two H2D
+        lanes with the kernel event-ordered behind all of them, so the race
+        detector checks the workload's real fan-in structure.
+        """
+        import itertools
+
+        import numpy as np
+
+        from ..core.device import DeviceContext
+        from ..core.dtypes import DType
+        from ..core.kernel import LaunchConfig
+        from ..core.layout import Layout
+        from ..kernels.hartreefock.basis import make_helium_system
+        from ..kernels.hartreefock.kernel import (
+            hartree_fock_kernel,
+            hartree_fock_kernel_model,
+        )
+        from ..kernels.hartreefock.runner import compute_schwarz
+
+        natoms, ngauss = 2, 3
+        system = make_helium_system(natoms, ngauss, spacing=2.5)
+        schwarz = compute_schwarz(system)
+        n = system.natoms
+        ctx = DeviceContext("h100")
+        pool, compute = ctx.upload_pipeline(2)
+        lanes = itertools.cycle(pool)
+
+        def upload(data, shape, label, mut=False):
+            flat = np.asarray(data, dtype=np.float64).reshape(-1)
+            buf = ctx.enqueue_create_buffer(DType.float64, flat.size,
+                                            label=label)
+            buf.copy_from_host(flat, stream=next(lanes))
+            return buf, buf.tensor(Layout.row_major(*shape), mut=mut,
+                                   bounds_check=False)
+
+        launch = LaunchConfig.for_elements(system.nquads, 16)
+        with ctx.capture(f"lint-{self.name}") as graph:
+            _, schwarz_t = upload(schwarz, (len(schwarz),), "schwarz")
+            _, xpnt_t = upload(system.xpnt, (ngauss,), "xpnt")
+            _, coef_t = upload(system.coef, (ngauss,), "coef")
+            _, geom_t = upload(system.geometry, (n, 3), "geom")
+            _, dens_t = upload(system.dens, (n, n), "dens")
+            fock_buf, fock_t = upload(np.zeros((n, n)), (n, n), "fock",
+                                      mut=True)
+            ctx.fan_in(pool, compute, prefix="uploads")
+            ctx.enqueue_function(
+                hartree_fock_kernel, ngauss, n, system.nquads, schwarz_t,
+                0.0, xpnt_t, coef_t, geom_t, dens_t, fock_t,
+                grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+                model=hartree_fock_kernel_model(natoms=n, ngauss=ngauss,
+                                                surviving_fraction=1.0),
+                stream=compute,
+            )
+            fock_buf.copy_to_host(stream=compute)
+        return graph
+
     def reference(self, *, natoms: int = 4, ngauss: int = 3,
                   spacing: float = 2.5):
         """Batched-ERI reference Fock matrix for a small helium system."""

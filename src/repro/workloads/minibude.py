@@ -150,6 +150,62 @@ class MiniBudeWorkload(Workload):
         return model, minibude_launch_config(p["nposes"], p["ppwi"],
                                              p["wgsize"])
 
+    def lint_graph(self):
+        """Two-stream upload → fan-in → fasten → D2H capture on a tiny deck.
+
+        Mirrors :func:`~repro.kernels.minibude.runner.run_fasten_functional`
+        with ``streams=2``, so the race detector sees the workload's real
+        event-edge structure (every upload lane fanned into the compute
+        stream) rather than a single-stream degenerate.
+        """
+        import itertools
+
+        from ..core.device import DeviceContext
+        from ..core.dtypes import DType
+        from ..kernels.minibude.deck import make_deck
+        from ..kernels.minibude.kernel import fasten_kernel, fasten_kernel_model
+        from ..kernels.minibude.runner import minibude_launch_config
+
+        deck = make_deck(natlig=4, natpro=8, ntypes=2, nposes=32, seed=2025,
+                         name="lint")
+        ppwi, wgsize = 2, 8
+        launch = minibude_launch_config(deck.nposes, ppwi, wgsize)
+        ctx = DeviceContext("h100")
+        pool, compute = ctx.upload_pipeline(2)
+        lanes = itertools.cycle(pool)
+
+        def upload(data, label):
+            buf = ctx.enqueue_create_buffer(DType.float32, data.size,
+                                            label=label)
+            buf.copy_from_host(data, stream=next(lanes))
+            return buf
+
+        with ctx.capture(f"lint-{self.name}") as graph:
+            protein = upload(deck.protein_flat(), "protein")
+            ligand = upload(deck.ligand_flat(), "ligand")
+            forcefield = upload(deck.forcefield_flat(), "forcefield")
+            transforms = [upload(t, f"t{i}")
+                          for i, t in enumerate(deck.transforms())]
+            etot_buf = ctx.enqueue_create_buffer(DType.float32, deck.nposes,
+                                                 label="etotals")
+            ctx.fan_in(pool, compute, prefix="uploads")
+            ctx.enqueue_function(
+                fasten_kernel, ppwi, deck.natlig, deck.natpro,
+                protein.tensor(mut=False, bounds_check=False),
+                ligand.tensor(mut=False, bounds_check=False),
+                *[t.tensor(mut=False, bounds_check=False)
+                  for t in transforms],
+                etot_buf.tensor(bounds_check=False),
+                forcefield.tensor(mut=False, bounds_check=False),
+                deck.nposes,
+                grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+                model=fasten_kernel_model(ppwi=ppwi, natlig=deck.natlig,
+                                          natpro=deck.natpro, wgsize=wgsize),
+                stream=compute,
+            )
+            etot_buf.copy_to_host(stream=compute)
+        return graph
+
     def reference(self, *, natlig: int = 8, natpro: int = 32,
                   nposes: int = 64, seed: int = 2025):
         """Vectorised reference energies for a reduced random deck."""

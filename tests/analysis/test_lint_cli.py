@@ -1,0 +1,49 @@
+"""The ``repro lint`` CLI surface — the command the CI gate runs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_ci_gate_invocation():
+    args = build_parser().parse_args(["lint", "--all", "--json"])
+    assert args.command == "lint"
+    assert args.lint_all and args.json and not args.no_graphs
+
+
+def test_lint_all_json_is_clean(capsys):
+    assert main(["lint", "--all", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["errors"] == 0
+    assert payload["summary"]["kernels"] >= 8
+    assert payload["summary"]["graphs"] == 4
+    assert payload["diagnostics"] == []
+    assert "fasten_kernel" in payload["kernels"]
+
+
+def test_lint_text_summary(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_lint_single_workload_filters_graphs(capsys):
+    assert main(["lint", "stencil", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # graph filter narrows the race check; kernel verification still covers
+    # the full registry so a narrowed lint cannot hide a broken kernel
+    assert payload["summary"]["graphs"] == 1
+    assert payload["summary"]["kernels"] >= 8
+
+
+def test_lint_no_graphs_skips_race_check(capsys):
+    assert main(["lint", "--no-graphs", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["graphs"] == 0
+
+
+def test_lint_unknown_workload_is_config_error(capsys):
+    assert main(["lint", "nosuchworkload"]) == 2
+    assert "lint:" in capsys.readouterr().err

@@ -1,0 +1,124 @@
+"""Device-graph race detector: happens-before over streams and events."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import Severity, analyze_graph, run_lint
+from repro.analysis.lint import lint_graphs
+from repro.core.device import DeviceContext
+from repro.core.dtypes import DType
+from repro.core.errors import AnalysisError, DeviceError
+
+
+def _rules(diags):
+    # analyze_graph returns a diagnostics list; lint_graphs a LintReport
+    diags = getattr(diags, "diagnostics", diags)
+    return sorted({d.rule for d in diags})
+
+
+def _errors(diags):
+    return [d for d in diags if d.severity == Severity.ERROR]
+
+
+def _two_stream_graph(*, with_edge: bool):
+    """H2D write on one stream, D2H read of the same buffer on another.
+
+    With no event edge the two operations are concurrent — the classic
+    cross-stream race.  ``with_edge=True`` adds the ``record``/``wait``
+    pair that serialises them.
+    """
+    ctx = DeviceContext("h100")
+    s1 = ctx.stream("producer")
+    s2 = ctx.stream("consumer")
+    data = np.arange(16, dtype=np.float64)
+    with ctx.capture("racecheck") as graph:
+        buf = ctx.enqueue_create_buffer(DType.float64, 16, label="shared")
+        buf.copy_from_host(data, stream=s1)
+        if with_edge:
+            s2.wait(ctx.event("ready").record(s1))
+        buf.copy_to_host(stream=s2)
+    return graph
+
+
+def test_cross_stream_overlap_without_edge_is_flagged():
+    diags = analyze_graph(_two_stream_graph(with_edge=False))
+    assert "GR201" in _rules(diags)
+    assert _errors(diags)
+    (diag,) = [d for d in diags if d.rule == "GR201"]
+    assert "shared" in diag.message
+
+
+def test_event_edge_serialises_the_same_graph():
+    assert _rules(analyze_graph(_two_stream_graph(with_edge=True))) == []
+
+
+def test_same_stream_order_is_never_a_race():
+    ctx = DeviceContext("h100")
+    s = ctx.stream("only")
+    data = np.ones(8)
+    with ctx.capture("serial") as graph:
+        buf = ctx.enqueue_create_buffer(DType.float64, 8, label="b")
+        buf.copy_from_host(data, stream=s)
+        buf.copy_to_host(stream=s)
+    assert _rules(analyze_graph(graph)) == []
+
+
+def test_dead_transfer_is_a_warning_not_an_error():
+    ctx = DeviceContext("h100")
+    s = ctx.stream("s")
+    with ctx.capture("dead") as graph:
+        buf = ctx.enqueue_create_buffer(DType.float64, 8, label="unused")
+        buf.copy_from_host(np.zeros(8), stream=s)
+    diags = analyze_graph(graph)
+    assert _rules(diags) == ["GR203"]
+    assert not _errors(diags)  # warning: reported, does not fail the gate
+
+
+def test_use_after_free_carries_enqueue_site():
+    # lazy context: the copy stays pending until synchronize(), which is
+    # where a freed buffer is discovered — with the recorded enqueue site
+    ctx = DeviceContext("h100", eager=False, record_sites=True)
+    s = ctx.stream("s")
+    buf = ctx.enqueue_create_buffer(DType.float64, 8, label="gone")
+    buf.copy_from_host(np.zeros(8), stream=s)
+    buf.free()
+    with pytest.raises(DeviceError, match=r"enqueued at .*test_racecheck"):
+        ctx.synchronize()
+
+
+def test_capture_check_raises_on_race():
+    ctx = DeviceContext("h100")
+    s1, s2 = ctx.stream("a"), ctx.stream("b")
+    data = np.zeros(4)
+    with pytest.raises(AnalysisError, match="GR201"):
+        with ctx.capture("checked", check=True):
+            buf = ctx.enqueue_create_buffer(DType.float64, 4, label="hot")
+            buf.copy_from_host(data, stream=s1)
+            buf.copy_to_host(stream=s2)
+    # the capture-scoped site recording must not leak past the capture
+    assert ctx.record_sites is False
+
+
+def test_capture_check_passes_clean_graph():
+    ctx = DeviceContext("h100")
+    s = ctx.stream("s")
+    with ctx.capture("clean", check=True) as graph:
+        buf = ctx.enqueue_create_buffer(DType.float64, 4, label="ok")
+        buf.copy_from_host(np.zeros(4), stream=s)
+        buf.copy_to_host(stream=s)
+    assert graph is not None
+
+
+def test_all_workload_lint_graphs_are_clean():
+    report = lint_graphs()
+    assert report.ok, report.render()
+    assert len(report.graphs) == 4
+    assert report.diagnostics == []
+
+
+def test_run_lint_is_clean_end_to_end():
+    report = run_lint()
+    assert report.ok, report.render()
+    assert len(report.kernels) >= 8

@@ -1,0 +1,108 @@
+"""Kernel verifier: each broken fixture fires exactly its rule.
+
+The fixtures live in ``fixtures/broken_kernels.py`` as plain functions
+(see that module's docstring for why); they are wrapped in bare
+:class:`Kernel` objects here so the registry ``repro lint`` walks stays
+untouched.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import warnings
+
+import pytest
+
+from repro.analysis import Severity, lint_kernel, verify_kernel
+from repro.analysis.lint import shipped_kernels
+from repro.analysis.verifier import infer_vector_safe
+from repro.core.errors import AnalysisError
+from repro.core.kernel import Kernel
+
+_FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "broken_kernels.py"
+_spec = importlib.util.spec_from_file_location("broken_kernels", _FIXTURE)
+broken = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(broken)
+
+
+def _rules(kern):
+    return sorted({d.rule for d in lint_kernel(kern)})
+
+
+@pytest.mark.parametrize("fn_name, rule", [
+    ("divergent_barrier", "KV101"),
+    ("shared_memory_race", "KV102"),
+    ("unguarded_oob", "KV103"),
+    ("simt_unsafe_print", "KV104"),
+    ("data_dependent_while", "KV105"),
+])
+def test_fixture_fires_exactly_its_rule(fn_name, rule):
+    kern = Kernel(getattr(broken, fn_name))
+    assert _rules(kern) == [rule]
+
+
+def test_lying_flag_fires_kv100_only():
+    # the body is clean on its own, but the declared vector_safe=True is
+    # refuted by the lane-guarded store — only the flag-mismatch rule fires
+    kern = Kernel(broken.lying_flag, vector_safe=True)
+    diags = lint_kernel(kern)
+    assert _rules(kern) == ["KV100"]
+    assert all(d.severity == Severity.ERROR for d in diags)
+
+
+def test_guarded_clean_has_no_diagnostics():
+    kern = Kernel(broken.guarded_clean)
+    assert _rules(kern) == []
+    # the lane-dependent if still blocks positive vector-safety inference —
+    # the executors' scalar fallback for undeclared guarded kernels depends
+    # on this staying False
+    assert infer_vector_safe(kern) is False
+
+
+def test_verify_result_is_memoised():
+    kern = Kernel(broken.unguarded_oob)
+    assert verify_kernel(kern) is verify_kernel(kern)
+
+
+def test_strict_decoration_raises_on_broken_kernel():
+    with pytest.raises(AnalysisError) as exc:
+        Kernel(broken.divergent_barrier, strict=True)
+    assert "KV101" in str(exc.value)
+
+
+def test_strict_decoration_accepts_clean_kernel():
+    kern = Kernel(broken.guarded_clean, strict=True)
+    assert _rules(kern) == []
+
+
+#: the eight kernels the four science-kernel modules register
+SHIPPED = {"laplacian_kernel", "copy_kernel", "mul_kernel", "add_kernel",
+           "triad_kernel", "dot_kernel", "fasten_kernel",
+           "hartree_fock_kernel"}
+
+
+def test_shipped_kernels_verify_clean_and_inferred_safe():
+    kernels = shipped_kernels()
+    assert SHIPPED <= set(kernels)
+    # the whole registry — including kernels other test modules registered
+    # in this process — must lint clean; that is the `repro lint` contract
+    for name, kern in kernels.items():
+        assert _rules(kern) == [], f"{name} has diagnostics"
+    for name in SHIPPED:
+        result = verify_kernel(kernels[name])
+        # every shipped kernel declares vector_safe=True and the analyser
+        # independently confirms it — the flag is verified, not trusted
+        assert result.declared is True, name
+        assert result.inferred is True, name
+
+
+def test_refuted_flag_warns_once_on_dispatch():
+    from repro.gpu.vector_executor import kernel_vector_safe
+
+    kern = Kernel(broken.lying_flag, vector_safe=True, name="lying_warn")
+    with pytest.warns(RuntimeWarning, match="vector_safe=True"):
+        assert kernel_vector_safe(kern) is True  # declaration still wins
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        kernel_vector_safe(kern)  # second resolution is silent

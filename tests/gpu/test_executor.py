@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import DType, barrier, block_dim, block_idx, grid_dim, kernel, shared_array, thread_idx
+from repro.core.intrinsics import masked_store
 from repro.core.errors import LaunchError
 from repro.core.kernel import LaunchConfig
 from repro.gpu.executor import ExecutionCounters, KernelExecutor, kernel_uses_barrier
@@ -29,8 +30,9 @@ def _block_sum_kernel(a, sums, n, tb):
             tile[tid] += tile[tid + offset]
         offset //= 2
     barrier()
-    if tid == 0:
-        sums[block_idx.x] = tile[0]
+    # predicated final store (the shipped dot_kernel idiom) so the kernel
+    # also verifies clean under `repro lint` when the suite registers it
+    masked_store(sums, block_idx.x, tile[0], tid == 0)
 
 
 @kernel
