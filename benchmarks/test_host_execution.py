@@ -349,3 +349,87 @@ def test_bench_lint_vector_safe_hot_path(benchmark):
         return ok
 
     assert benchmark(run) is True
+
+
+def _stencil_graph_capture(L, mode):
+    """An H2D -> laplacian -> D2H capture at *L*^3 in one executor *mode*."""
+    from repro.core.device import DeviceContext
+    from repro.core.layout import Layout
+    from repro.kernels.stencil.kernel import stencil_kernel_model
+
+    problem = StencilProblem(L, "float64")
+    u_host = problem.initial_field().reshape(-1)
+    sargs = problem.inverse_spacing_squared
+    launch = stencil_launch_config(L, (64, 4, 1))
+    layout = Layout.row_major(L, L, L)
+    ctx = DeviceContext("h100")
+    u_buf = ctx.enqueue_create_buffer(problem.dtype, L ** 3, label="u")
+    f_buf = ctx.enqueue_create_buffer(problem.dtype, L ** 3, label="f")
+    u = u_buf.tensor(layout, mut=False, bounds_check=False)
+    f = f_buf.tensor(layout, bounds_check=False)
+    with ctx.capture(f"stencil-{mode}") as graph:
+        u_buf.copy_from_host(u_host)
+        ctx.enqueue_function(laplacian_kernel, f, u, L, L, L, *sargs,
+                             grid_dim=launch.grid_dim,
+                             block_dim=launch.block_dim, mode=mode,
+                             model=stencil_kernel_model(L=L,
+                                                        precision="float64"))
+        f_buf.copy_to_host()
+    return graph
+
+
+def test_bench_vectorized_stencil_graph_replay(benchmark):
+    """Stencil graph replay with the kernel pinned to the lockstep engine.
+
+    Paired with ``test_bench_lowered_stencil_graph_replay``: the committed
+    baselines must show the NumPy-codegen lowering at least 2x faster on
+    the same capture (guarded in test_benchcheck.py).
+    """
+    graph = _stencil_graph_capture(32, "vectorized")
+    result = benchmark(graph.replay)
+    assert np.any(result["f"] != 0.0)
+
+
+def test_bench_lowered_stencil_graph_replay(benchmark):
+    """The same stencil capture dispatched through the lowering tier.
+
+    ``mode="lowered"`` compiles the kernel body to whole-array NumPy
+    slicing once (memoised on the kernel) and replays execute the
+    generated entry — the graph compiler's backend path.
+    """
+    graph = _stencil_graph_capture(32, "lowered")
+    result = benchmark(graph.replay)
+    assert np.any(result["f"] != 0.0)
+
+
+def test_bench_unfused_babelstream_graph_replay(benchmark):
+    """The BabelStream Copy/Mul/Add/Triad capture replayed as recorded.
+
+    Uses the workload's shipped lint/tuning capture (n=4096, one stream),
+    i.e. exactly the graph ``RunRequest.optimize`` feeds the pass
+    pipeline.  Paired with the fused variant below: the committed
+    baselines must show the fused replay no slower (guarded in
+    test_benchcheck.py).
+    """
+    from repro.workloads import get_workload
+
+    graph = get_workload("babelstream").lint_graph()
+    result = benchmark(graph.replay)
+    assert np.all(np.isfinite(result["a"]))
+
+
+def test_bench_fused_babelstream_graph_replay(benchmark):
+    """The same capture after the fusion pass: one fused kernel launch.
+
+    The fused body dispatches through the lowering tier (with automatic
+    fallback to the vector executor), so this baseline records the full
+    graph-compiler win on the four-kernel STREAM sweep.
+    """
+    from repro.graphopt import optimize_graph
+    from repro.workloads import get_workload
+
+    graph = get_workload("babelstream").lint_graph()
+    fused, report = optimize_graph(graph, "fuse")
+    assert report.fused and fused.num_kernels == 1
+    result = benchmark(fused.replay)
+    assert np.all(np.isfinite(result["a"]))

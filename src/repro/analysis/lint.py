@@ -64,13 +64,21 @@ def lint_kernels(kernels: Optional[Iterable] = None) -> LintReport:
     return report
 
 
-def lint_graphs(workloads: Optional[Sequence[str]] = None) -> LintReport:
+def lint_graphs(workloads: Optional[Sequence[str]] = None, *,
+                optimized: bool = True) -> LintReport:
     """Race-check each workload's lint graph (default: all registered).
 
     A workload whose :meth:`lint_graph` returns None is recorded as a note;
     one whose capture itself raises becomes an error-severity diagnostic —
     a pipeline that cannot even be captured must not pass the lint gate
     silently.
+
+    When *optimized* is true (the default) every captured graph is
+    additionally pushed through the full :mod:`repro.graphopt` pass
+    pipeline and the *transformed* graph is race-checked as its own
+    subject — the graph-compiler contract is that an optimized graph lints
+    as clean as its capture, including the provenance-aware ``GR203``
+    reading of elided transfers.
     """
     from ..workloads import get_workload, list_workloads
     from .diagnostics import Diagnostic, Severity
@@ -94,6 +102,25 @@ def lint_graphs(workloads: Optional[Sequence[str]] = None) -> LintReport:
             continue
         report.graphs.append(getattr(graph, "name", workload.name))
         report.extend(analyze_graph(graph))
+        if not optimized:
+            continue
+        from ..graphopt import optimize_graph
+
+        try:
+            # check=False: the optimized graph is linted *here*, as a
+            # first-class subject, so its diagnostics land in the report
+            # rather than being folded into an exception.
+            opt, _ = optimize_graph(graph, "all", check=False)
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            report.add(Diagnostic(
+                rule="GR200", severity=Severity.ERROR,
+                subject=workload.name,
+                message=f"graph-compiler pipeline failed on the lint "
+                        f"capture: {exc}",
+                category="graph"))
+            continue
+        report.graphs.append(getattr(opt, "name", f"{workload.name}+opt"))
+        report.extend(analyze_graph(opt))
     return report
 
 

@@ -37,6 +37,15 @@ Kernel operations that carry explicit ``reads`` / ``writes`` buffer sets
 use them; otherwise access sets are derived from the captured argument
 list (``mut=False`` tensors are read-only, ``mut=True`` tensors and bare
 buffers conservatively read+write).
+
+Graph-compiler provenance: ops tombstoned by a :mod:`repro.graphopt` pass
+(``meta["elided"]`` with a ``meta["graphopt"]`` record) contribute no
+replay step, so they are skipped as *subjects* of every rule and are
+transparent to the happens-before chains (sound because the passes never
+elide an op carrying event waits or records).  Their *reads* still count
+when deciding whether a write is dead: a D2H download the optimizer
+dropped must not re-flag the upload that fed it as a ``GR203`` dead
+transfer — the upload was live in the program the user wrote.
 """
 
 from __future__ import annotations
@@ -51,6 +60,8 @@ __all__ = [
     "RULE_DEAD_TRANSFER",
     "analyze_graph",
     "analyze_ops",
+    "op_accesses",
+    "op_elided",
 ]
 
 RULE_CROSS_STREAM_RACE = "GR201"
@@ -105,6 +116,17 @@ def _op_accesses(op) -> Tuple[tuple, tuple]:
     return (), ()                       # "event" markers touch no memory
 
 
+#: public alias — the graph optimizer shares this access derivation when
+#: deciding elision/hoisting legality, so detector and compiler cannot
+#: disagree about what an op touches
+op_accesses = _op_accesses
+
+
+def op_elided(op) -> bool:
+    """True for an op tombstoned by a graph-compiler pass (provenance-tagged)."""
+    return bool((getattr(op, "meta", None) or {}).get("elided"))
+
+
 def _op_site(op) -> str:
     site = getattr(op, "site", None)
     return f" (enqueued at {site})" if site else ""
@@ -121,9 +143,12 @@ def analyze_ops(ops: Sequence, *, subject: str = "<ops>",
     diags: List[Diagnostic] = []
     n = len(ops)
     accesses = [_op_accesses(op) for op in ops]
+    elided = [op_elided(op) for op in ops]
 
     # ---------------------------------------------------------------- GR202
-    for op, (reads, writes) in zip(ops, accesses):
+    for op, (reads, writes), dead in zip(ops, accesses, elided):
+        if dead:
+            continue
         for buf in dict((id(b), b) for b in (*reads, *writes)).values():
             if getattr(buf, "freed", False):
                 diags.append(Diagnostic(
@@ -138,6 +163,11 @@ def analyze_ops(ops: Sequence, *, subject: str = "<ops>",
     last_on_stream: Dict[str, int] = {}
     latest_record: Dict[int, int] = {}
     for i, op in enumerate(ops):
+        if elided[i]:
+            # Tombstones run nothing and (by pass construction) carry no
+            # waits or event records — same-stream FIFO ordering flows
+            # through them transitively.
+            continue
         stream = getattr(getattr(op, "stream", None), "name", "default")
         preds: List[int] = []
         prev = last_on_stream.get(stream)
@@ -159,10 +189,12 @@ def analyze_ops(ops: Sequence, *, subject: str = "<ops>",
     reported: Set[Tuple[str, str, str]] = set()
     for j in range(n):
         r_j, w_j = accesses[j]
-        if not (r_j or w_j):
+        if elided[j] or not (r_j or w_j):
             continue
         stream_j = getattr(getattr(ops[j], "stream", None), "name", "default")
         for i in range(j):
+            if elided[i]:
+                continue                # tombstones execute nothing
             stream_i = getattr(getattr(ops[i], "stream", None), "name",
                                "default")
             if stream_i == stream_j or i in hb[j]:
@@ -192,10 +224,13 @@ def analyze_ops(ops: Sequence, *, subject: str = "<ops>",
     # ---------------------------------------------------------------- GR203
     for i in range(n):
         op = ops[i]
-        if op.kind not in _WRITE_KINDS:
+        if op.kind not in _WRITE_KINDS or elided[i]:
             continue
         _, writes = accesses[i]
         for buf in writes:
+            # Elided readers still count: a download the graph compiler
+            # dropped proves the upload was live in the captured program,
+            # so re-linting the optimized graph must not flag it.
             read_later = any(
                 any(b is buf for b in accesses[j][0])
                 for j in range(i + 1, n))

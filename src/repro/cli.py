@@ -122,10 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip functional verification")
     b_p.add_argument("--executor", default="auto",
                      choices=["auto", "vectorized", "sequential",
-                              "cooperative"],
+                              "cooperative", "lowered"],
                      help="functional-simulator mode for verification "
                           "launches (default auto: lockstep vectorized for "
-                          "vector-safe kernels)")
+                          "vector-safe kernels; lowered: NumPy-codegen "
+                          "whole-array compilation with per-launch fallback "
+                          "to auto)")
+    b_p.add_argument("--optimize", default="none", metavar="PASSES",
+                     help="graph-compiler passes applied to captured device "
+                          "graphs: 'none' (default), 'all', or a "
+                          "comma-separated subset of elide,fuse,hoist")
     b_p.add_argument("--streams", type=int, default=1, metavar="N",
                      help="device streams for the verification pipeline "
                           "(default 1; N>1 gives transfers/compute their own "
@@ -193,7 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip functional verification")
     sw_p.add_argument("--executor", default="auto",
                       choices=["auto", "vectorized", "sequential",
-                               "cooperative"],
+                               "cooperative", "lowered"],
                       help="functional-simulator mode (default auto)")
     sw_p.add_argument("--workers", type=int, default=1, metavar="N",
                       help="thread-pool width (default 1: sequential)")
@@ -273,6 +279,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the full (non-quick) parameter sweeps")
     rep_p.add_argument("--no-tuning", action="store_true",
                        help="skip the tuned-vs-untuned portability section")
+    rep_p.add_argument("--no-graphopt", action="store_true",
+                       help="skip the graph-compiler speedup section")
 
     lint_p = sub.add_parser(
         "lint",
@@ -289,6 +297,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the report as JSON instead of text")
     lint_p.add_argument("--no-graphs", action="store_true",
                         help="verify kernels only, skip the graph race check")
+
+    g_p = sub.add_parser(
+        "graph",
+        help="run the graph compiler over a workload's captured device "
+             "graph and report what the passes did")
+    g_p.add_argument("workload", nargs="?", default=None,
+                     help="registered workload name (see 'workloads')")
+    g_p.add_argument("--all", action="store_true", dest="graph_all",
+                     help="optimize every registered workload's graph")
+    g_p.add_argument("--passes", default="all", metavar="PASSES",
+                     help="pass pipeline: 'all' (default), 'none', or a "
+                          "comma-separated subset of elide,fuse,hoist")
+    g_p.add_argument("--bench", action="store_true",
+                     help="additionally time unfused/fused graph replays "
+                          "and vectorized/lowered kernel dispatch")
+    g_p.add_argument("--repeats", type=int, default=20, metavar="N",
+                     help="replay repeats per timing (min is reported; "
+                          "default 20)")
+    g_p.add_argument("--json", action="store_true",
+                     help="emit the per-workload reports as JSON")
+    g_p.add_argument("--output", default=None, metavar="PATH",
+                     help="also write the JSON payload to PATH (e.g. "
+                          "BENCH_graphopt.json with --bench)")
 
     bench_p = sub.add_parser(
         "bench-compare",
@@ -329,6 +360,134 @@ def _cmd_lint(args) -> int:
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _graph_bench(workload, passes: str, repeats: int) -> dict:
+    """Best-of-*repeats* replay timings for one workload's captured graph.
+
+    ``unfused_replay_s``/``fused_replay_s`` replay the lint capture before
+    and after the requested pass pipeline; ``vectorized_replay_s``/
+    ``lowered_replay_s`` replay executor-mode variants of the tuning probe
+    (absent for workloads that declare no request-shaped probe).
+    """
+    import time
+
+    from .graphopt import optimize_graph
+
+    def best(fn) -> float:
+        fn()                                    # warm caches/codegen
+        samples = []
+        for _ in range(max(repeats, 1)):
+            t0 = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - t0)
+        return min(samples)
+
+    bench: dict = {}
+    graph = workload.lint_graph()
+    if graph is not None:
+        optimized, _ = optimize_graph(graph, passes)
+        bench["unfused_replay_s"] = best(graph.replay)
+        bench["fused_replay_s"] = best(optimized.replay)
+    for mode, key in (("vectorized", "vectorized_replay_s"),
+                      ("lowered", "lowered_replay_s")):
+        probe = workload.tuning_probe(workload.make_request(executor=mode))
+        if probe is None:
+            continue
+        bench[key] = best(probe.replay)
+    return bench
+
+
+def _cmd_graph(args) -> int:
+    """``repro graph``: run the pass pipeline and show what it did.
+
+    Exit 0 when every optimized graph race-checks clean (the
+    graph-compiler contract), 1 otherwise, 2 on configuration errors —
+    matching the lint/bench exit conventions.
+    """
+    from .analysis.diagnostics import Severity
+    from .analysis.racecheck import analyze_graph, op_elided
+    from .graphopt import lowering_report, optimize_graph, parse_passes
+    from .workloads import get_workload, list_workloads
+
+    if args.graph_all and args.workload:
+        raise ConfigurationError("name one workload or pass --all, not both")
+    if not args.graph_all and not args.workload:
+        raise ConfigurationError("name a workload or pass --all")
+    passes = parse_passes(args.passes)          # validates pass names early
+    names = list(list_workloads()) if args.graph_all else [args.workload]
+
+    entries = []
+    all_clean = True
+    for name in names:
+        workload = get_workload(name)
+        graph = workload.lint_graph()
+        if graph is None:
+            entries.append({"workload": name, "graph": None,
+                            "note": "declares no lint graph"})
+            continue
+        optimized, report = optimize_graph(graph, args.passes)
+        diags = analyze_graph(optimized)
+        clean = not any(d.severity == Severity.ERROR for d in diags)
+        all_clean = all_clean and clean
+        lowering = []
+        for op in optimized.ops:
+            meta = op.meta or {}
+            if op.kind != "kernel" or op_elided(op) or "kern" not in meta:
+                continue
+            lowering.append(lowering_report(meta["kern"], meta["args"],
+                                            meta["launch"]))
+        entry = {"workload": name, **report.as_dict(),
+                 "lint_clean": clean,
+                 "lint_diagnostics": [d.as_dict() for d in diags],
+                 "lowering": lowering}
+        if args.bench:
+            entry["bench"] = _graph_bench(workload, args.passes,
+                                          args.repeats)
+        entries.append(entry)
+
+    payload = {"schema": "repro.graphopt-report/v1",
+               "passes": list(passes), "graphs": entries}
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+        return 0 if all_clean else 1
+
+    for entry in entries:
+        if entry.get("graph") is None:
+            print(f"{entry['workload']}: {entry['note']}")
+            continue
+        print(f"{entry['graph']} -> {entry['optimized']} "
+              f"(passes: {', '.join(entry['passes']) or 'none'})")
+        print(f"  ops {entry['ops_before']} -> {entry['ops_after']}, "
+              f"kernels {entry['kernels_before']} -> "
+              f"{entry['kernels_after']}, modelled makespan "
+              f"{entry['makespan_before_ms']:.4f} -> "
+              f"{entry['makespan_after_ms']:.4f} ms")
+        for group in entry["fused"]:
+            print(f"  fused: {' + '.join(group['parts'])} -> "
+                  f"{group['name']}")
+        for victim in entry["elided"]:
+            print(f"  elided: {victim['kind']} {victim['name']!r} "
+                  f"({victim['action']})")
+        for label in entry["pinned"]:
+            print(f"  pinned: {label}")
+        for low in entry["lowering"]:
+            status = ("lowered to NumPy slicing" if low["lowered"]
+                      else f"not lowered ({low['reason']})")
+            print(f"  {low['kernel']}: {status}")
+        print(f"  optimized graph lint: "
+              f"{'clean' if entry['lint_clean'] else 'ERRORS'}")
+        bench = entry.get("bench")
+        if bench:
+            for key, value in bench.items():
+                print(f"  {key}: {value * 1e6:.1f} us")
+    if args.output:
+        print(f"wrote JSON report to {args.output}")
+    return 0 if all_clean else 1
 
 
 def _cmd_list() -> int:
@@ -483,6 +642,7 @@ def _cmd_bench(args) -> int:
         fast_math=args.fast_math, verify=not args.no_verify,
         executor=args.executor, streams=args.streams,
         tune="cached" if args.tuned else "off",
+        optimize=args.optimize,
     )
     runner, _ = _resilient_runner(workload, args.retries, args.timeout_ms)
     cache_note = "disabled (--no-cache)"
@@ -748,7 +908,7 @@ def _cmd_tune(args) -> int:
 
 
 def _cmd_report(ids: List[str], *, write: Optional[str], full: bool,
-                tuning: bool = True) -> int:
+                tuning: bool = True, graphopt: bool = True) -> int:
     if not ids or any(i.lower() == "all" for i in ids):
         wanted = list_experiments()
     else:
@@ -783,6 +943,11 @@ def _cmd_report(ids: List[str], *, write: Optional[str], full: bool,
 
         lines.append("")
         lines.append(tuning_report().to_markdown())
+    if graphopt:
+        from .graphopt import graphopt_report
+
+        lines.append("")
+        lines.append(graphopt_report().to_markdown())
     document = "\n".join(lines) + "\n"
 
     if write:
@@ -798,7 +963,8 @@ def _cmd_report(ids: List[str], *, write: Optional[str], full: bool,
 #: ``bench-compare --quick`` (the executor/dispatch/graph-launch
 #: microbenchmarks — the paths substrate changes regress first — while the
 #: multi-second reference benches stay out of the tier-1 flow)
-QUICK_BENCH_EXPR = "executor or dispatch or vectorized or graph or tuned or lint"
+QUICK_BENCH_EXPR = ("executor or dispatch or vectorized or graph or tuned "
+                    "or lint or fused or lowered")
 
 
 def _run_host_benchmarks(bench_file: str, *, quick: bool = False,
@@ -972,12 +1138,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
     if args.command == "report":
         return _cmd_report(args.ids, write=args.write, full=args.full,
-                           tuning=not args.no_tuning)
+                           tuning=not args.no_tuning,
+                           graphopt=not args.no_graphopt)
     if args.command == "lint":
         try:
             return _cmd_lint(args)
         except ReproError as exc:
             print(f"lint: {exc}", file=sys.stderr)
+            return 2
+    if args.command == "graph":
+        try:
+            return _cmd_graph(args)
+        except ReproError as exc:
+            print(f"graph: {exc}", file=sys.stderr)
             return 2
     if args.command == "bench-compare":
         return _cmd_bench_compare(baseline=args.baseline, current=args.current,

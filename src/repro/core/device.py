@@ -463,11 +463,46 @@ class DeviceGraph:
         self._makespan_ms = 0.0
         self._kernels = 0
         self.replays = 0
+        #: labels whose H2D upload was hoisted out of the replay loop by the
+        #: graph optimizer (see :mod:`repro.graphopt`); binding one at replay
+        #: raises, because the upload no longer runs per-replay.
+        self._pinned: frozenset = frozenset()
 
     # ------------------------------------------------------------ properties
     @property
     def num_operations(self) -> int:
         return len(self._ops)
+
+    @property
+    def ops(self) -> Tuple[_Op, ...]:
+        """The captured operation list (read-only view).
+
+        This is the graph IR the optimizer passes in
+        :mod:`repro.graphopt` analyze; elided operations stay in the list
+        as tombstones (``op.meta["elided"]``) so inspection tools can show
+        what a pass removed, while :meth:`_compile` skips them.
+        """
+        return tuple(self._ops)
+
+    def rewritten(self, ops: Sequence[_Op], *,
+                  name: Optional[str] = None) -> "DeviceGraph":
+        """A new compiled graph over *ops*, on the same context.
+
+        The transform API the graph optimizer builds on: passes produce a
+        rewritten op list (fused kernels, tombstoned transfers) and this
+        method re-lowers it into replay steps and a fresh cached makespan.
+        The receiver is left untouched, so the unoptimized capture stays
+        replayable for bit-identity comparison.
+        """
+        if not self._compiled:
+            raise DeviceError(
+                f"graph {self.name!r} is still capturing; close the "
+                f"capture block before rewriting"
+            )
+        new = DeviceGraph(self.ctx, name or f"{self.name}+opt")
+        new._ops = list(ops)
+        new._compile()
+        return new
 
     @property
     def num_kernels(self) -> int:
@@ -501,10 +536,15 @@ class DeviceGraph:
         streams: Dict[str, Stream] = {}
         ctx = self.ctx
         for op in self._ops:
+            meta = op.meta or {}
+            if meta.get("elided"):
+                # Tombstone left by a graphopt pass: the op stays in the IR
+                # for inspection/provenance but contributes no replay step,
+                # no makespan time and no live-buffer requirement.
+                continue
             streams[op.stream.name] = op.stream
             for buf in op.buffers:
                 buffers[id(buf)] = buf
-            meta = op.meta or {}
             duration = meta.get("duration_ms", 0.0)
             if op.kind == "kernel":
                 self._kernels += 1
@@ -612,6 +652,14 @@ class DeviceGraph:
             self.ctx.synchronize()
         unknown = set(bindings) - set(self._h2d_specs)
         if unknown:
+            pinned = unknown & self._pinned
+            if pinned:
+                raise DeviceError(
+                    f"graph {self.name!r} input(s) {sorted(pinned)} were "
+                    f"pinned by the hoist-invariant-transfers pass; their "
+                    f"upload runs once at optimization time and cannot be "
+                    f"rebound at replay (re-optimize without pinning them)"
+                )
             raise DeviceError(
                 f"graph {self.name!r} has no input buffer(s) "
                 f"{sorted(unknown)}; known inputs: {sorted(self._h2d_specs)}"

@@ -44,11 +44,24 @@ from ..core.kernel import Kernel
 from ..resilience import faults as _faults
 
 __all__ = ["VectorThreadState", "LaneDim3", "kernel_vector_safe",
-           "run_vectorized", "VECTOR_CHUNK_LANES"]
+           "run_vectorized", "single_chunk", "VECTOR_CHUNK_LANES"]
 
 #: whole-grid lane sets are split at block boundaries so one chunk carries at
 #: most this many lanes (bounds the size of the per-lane index arrays)
 VECTOR_CHUNK_LANES = 1 << 18
+
+
+def single_chunk(launch) -> bool:
+    """True when a whole-grid launch executes as exactly one lane chunk.
+
+    The legality query kernel fusion (:mod:`repro.graphopt.passes`) keys on:
+    sequencing fused part bodies is only equivalent to back-to-back launches
+    when every lane of a part completes before the next part starts.  One
+    chunk guarantees that; chunked execution would interleave the parts per
+    chunk (part A chunk 1, part B chunk 1, part A chunk 2, ...), which
+    breaks cross-lane producer/consumer patterns between parts.
+    """
+    return launch.total_threads <= VECTOR_CHUNK_LANES
 
 
 def kernel_vector_safe(kern, *, infer: bool = False) -> bool:

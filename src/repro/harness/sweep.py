@@ -112,14 +112,15 @@ class Sweep:
     # --------------------------------------------------------------- workloads
     #: configuration keys lifted into RunRequest fields rather than params
     REQUEST_FIELDS = ("gpu", "backend", "precision", "fast_math", "verify",
-                      "executor", "streams", "tune")
+                      "executor", "streams", "tune", "optimize")
 
     def requests(self, workload, **base) -> Iterator["object"]:
         """Yield one validated ``RunRequest`` per configuration.
 
         Sweep parameters named in :data:`REQUEST_FIELDS` (``gpu``,
         ``backend``, ``precision``, ``fast_math``, ``verify``,
-        ``executor``, ``streams``, ``tune``) become request fields;
+        ``executor``, ``streams``, ``tune``, ``optimize``) become request
+        fields;
         everything else goes
         into the workload-specific ``params`` mapping and is validated
         against the workload's parameter schema.  ``base`` supplies fixed

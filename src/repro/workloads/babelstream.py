@@ -64,7 +64,14 @@ class BabelStreamWorkload(Workload):
         return model, LaunchConfig.for_elements(p["n"], p["tb_size"])
 
     def tuning_probe(self, request: RunRequest):
-        """Capture one Triad launch on a reduced vector length."""
+        """Capture the Copy→Mul→Add→Triad sweep on a reduced vector length.
+
+        The four streaming kernels run back-to-back on the same stream over
+        the shared a/b/c buffers — exactly the adjacency the graph
+        compiler's fusion pass targets, so an ``optimize``-carrying request
+        (or ``repro graph babelstream``) exercises real multi-kernel
+        fusion rather than a single-launch degenerate.
+        """
         from ..core.device import DeviceContext
         from ..core.dtypes import dtype_from_any
         from ..core.kernel import LaunchConfig
@@ -73,7 +80,10 @@ class BabelStreamWorkload(Workload):
             START_A,
             START_B,
             START_C,
+            add_kernel,
             babelstream_kernel_model,
+            copy_kernel,
+            mul_kernel,
             triad_kernel,
         )
 
@@ -86,20 +96,28 @@ class BabelStreamWorkload(Workload):
         b_buf = ctx.enqueue_create_buffer(dtype, n, label="b")
         c_buf = ctx.enqueue_create_buffer(dtype, n, label="c")
         a, b, c = a_buf.tensor(), b_buf.tensor(), c_buf.tensor()
+
+        def model(op):
+            return babelstream_kernel_model(op, n=n,
+                                            precision=request.precision,
+                                            tb_size=p["tb_size"])
+
+        sweep = (("copy", copy_kernel, (a, c, n)),
+                 ("mul", mul_kernel, (b, c, SCALAR, n)),
+                 ("add", add_kernel, (a, b, c, n)),
+                 ("triad", triad_kernel, (a, b, c, SCALAR, n)))
         with ctx.capture(f"tune-{self.name}") as graph:
             a_buf.fill(START_A)
             b_buf.fill(START_B)
             c_buf.fill(START_C)
-            ctx.enqueue_function(
-                triad_kernel, a, b, c, SCALAR, n,
-                grid_dim=launch.grid_dim, block_dim=launch.block_dim,
-                mode=request.executor,
-                model=babelstream_kernel_model(
-                    "triad", n=n, precision=request.precision,
-                    tb_size=p["tb_size"]),
-            )
+            for op, kern, args in sweep:
+                ctx.enqueue_function(
+                    kern, *args,
+                    grid_dim=launch.grid_dim, block_dim=launch.block_dim,
+                    mode=request.executor, model=model(op),
+                )
             a_buf.copy_to_host()
-        return graph
+        return self._maybe_optimize(graph, request)
 
     def reference(self, *, num_iterations: int = 2):
         """Scalar-replay expected values of a/b/c after *num_iterations*."""

@@ -43,8 +43,12 @@ DEFAULT_PROTOCOL = MeasurementProtocol(warmup=1, repeats=5)
 
 #: functional-simulator execution modes a request may select; ``"auto"``
 #: (the default) picks the lockstep vectorized engine for vector-safe
-#: kernels and preserves the scalar behaviour for everything else
-EXECUTOR_MODES = ("auto", "vectorized", "sequential", "cooperative")
+#: kernels and preserves the scalar behaviour for everything else;
+#: ``"lowered"`` additionally compiles vector-safe bodies to NumPy
+#: whole-array expressions (:mod:`repro.graphopt.lower`), falling back to
+#: ``"auto"`` per launch when a body cannot be lowered
+EXECUTOR_MODES = ("auto", "vectorized", "sequential", "cooperative",
+                  "lowered")
 
 #: upper bound on the per-request device-stream count (a real queue would
 #: accept more, but beyond this the simulated pipelines gain nothing)
@@ -175,6 +179,12 @@ class RunRequest:
     #: lets the workload rewrite the launch knobs from the tuning database
     #: before running
     tune: str = "off"
+    #: graph-compiler passes applied to captured device graphs before they
+    #: replay: ``"none"`` (the default) replays the capture as recorded,
+    #: ``"all"`` runs the full :mod:`repro.graphopt` pipeline, or a
+    #: comma-separated subset of :data:`repro.graphopt.PASS_NAMES`
+    #: (``"elide"``, ``"fuse"``, ``"hoist"``)
+    optimize: str = "none"
 
     def __post_init__(self):
         # Freeze the parameter mapping (the dataclass itself is frozen, but a
@@ -207,6 +217,15 @@ class RunRequest:
                 f"got {self.streams!r}"
             )
         object.__setattr__(self, "streams", streams)
+        if self.optimize != "none":
+            # Validates pass names and canonicalizes order ("fuse,elide"
+            # and "elide,fuse" describe the same pipeline) so equal
+            # pipelines hash/compare equal and share cache entries.
+            from ..graphopt import parse_passes
+
+            passes = parse_passes(self.optimize)
+            object.__setattr__(
+                self, "optimize", ",".join(passes) if passes else "none")
 
     def __hash__(self):
         # explicit hash: the generated one would choke on the params
@@ -215,7 +234,7 @@ class RunRequest:
         return hash((self.workload, self.gpu, self.backend, self.precision,
                      tuple(sorted(self.params.items())), self.protocol,
                      self.fast_math, self.verify, self.executor,
-                     self.streams, self.tune))
+                     self.streams, self.tune, self.optimize))
 
     def replace(self, **changes) -> "RunRequest":
         """A copy of this request with the given fields replaced."""
@@ -244,6 +263,7 @@ class RunRequest:
             "executor": self.executor,
             "streams": self.streams,
             "tune": self.tune,
+            "optimize": self.optimize,
         }
 
 
@@ -481,6 +501,26 @@ class Workload:
         actually launch on the simulator, not just score well analytically.
         """
         return None
+
+    # ------------------------------------------------------------ graphopt
+    @staticmethod
+    def _maybe_optimize(graph, request: "RunRequest"):
+        """Run the graph-compiler pipeline on *graph* when the request asks.
+
+        ``request.optimize == "none"`` returns *graph* unchanged.  Anything
+        else runs :func:`repro.graphopt.optimize_graph` with the requested
+        pass subset and returns the rewritten graph; the optimization
+        report is attached to the result graph (``_graphopt_report``) so
+        adapters can surface it in provenance.  The optimized graph is
+        re-linted by the pipeline itself (``check=True``), so an illegal
+        transform fails loudly here rather than replaying wrong.
+        """
+        if graph is None or request.optimize == "none":
+            return graph
+        from ..graphopt import optimize_graph
+
+        optimized, _report = optimize_graph(graph, request.optimize)
+        return optimized
 
     # ------------------------------------------------------------------- lint
     def lint_graph(self):

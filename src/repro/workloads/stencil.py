@@ -171,7 +171,7 @@ class StencilWorkload(Workload):
                 model=stencil_kernel_model(L=L, precision=request.precision),
             )
             f_buf.copy_to_host()
-        return graph
+        return self._maybe_optimize(graph, request)
 
     def reference(self, *, L: int = 32, precision: str = "float64"):
         """NumPy Laplacian of the standard initial field on an ``L^3`` grid."""

@@ -18,7 +18,10 @@ def test_lint_all_json_is_clean(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["summary"]["errors"] == 0
     assert payload["summary"]["kernels"] >= 8
-    assert payload["summary"]["graphs"] == 4
+    # each workload graph lints twice: the capture and its graph-compiler
+    # optimized rewrite (the optimized variant must stay as clean)
+    assert payload["summary"]["graphs"] == 8
+    assert any(name.endswith("+opt") for name in payload["graphs"])
     assert payload["diagnostics"] == []
     assert "fasten_kernel" in payload["kernels"]
 
@@ -34,7 +37,7 @@ def test_lint_single_workload_filters_graphs(capsys):
     payload = json.loads(capsys.readouterr().out)
     # graph filter narrows the race check; kernel verification still covers
     # the full registry so a narrowed lint cannot hide a broken kernel
-    assert payload["summary"]["graphs"] == 1
+    assert payload["summary"]["graphs"] == 2
     assert payload["summary"]["kernels"] >= 8
 
 

@@ -114,7 +114,9 @@ def test_capture_check_passes_clean_graph():
 def test_all_workload_lint_graphs_are_clean():
     report = lint_graphs()
     assert report.ok, report.render()
-    assert len(report.graphs) == 4
+    # every capture lints twice: as recorded and after the graph-compiler
+    # pass pipeline — the optimized rewrite must stay as clean
+    assert len(report.graphs) == 8
     assert report.diagnostics == []
 
 
@@ -122,3 +124,68 @@ def test_run_lint_is_clean_end_to_end():
     report = run_lint()
     assert report.ok, report.render()
     assert len(report.kernels) >= 8
+
+
+class TestGraphoptProvenance:
+    """The race detector reads graph-compiler pass provenance.
+
+    A transfer the optimizer elided must neither be reported itself nor
+    re-trigger GR203 on the writer that fed it: the elision was a deliberate
+    rewrite, not dead code the author forgot."""
+
+    def _waited_upload_graph(self):
+        # the event edge pins the upload of "u": ops carrying waits are
+        # never elided (dropping them would erase a happens-before edge)
+        ctx = DeviceContext("h100")
+        s1, s2 = ctx.stream("s1"), ctx.stream("s2")
+        u_buf = ctx.enqueue_create_buffer(DType.float64, 8, label="u")
+        w_buf = ctx.enqueue_create_buffer(DType.float64, 8, label="w")
+        with ctx.capture("prov") as graph:
+            w_buf.copy_from_host(np.ones(8), stream=s2)
+            s1.wait(ctx.event("go").record(s2))
+            u_buf.copy_from_host(np.zeros(8), stream=s1)
+            u_buf.copy_to_host(stream=s1)
+            w_buf.copy_to_host(stream=s2)
+        return graph
+
+    def test_elided_download_does_not_retrigger_dead_transfer(self):
+        from repro.graphopt import optimize_graph
+
+        graph = self._waited_upload_graph()
+        assert _rules(analyze_graph(graph)) == []
+        optimized, report = optimize_graph(graph, "elide",
+                                           drop_outputs=("u",))
+        # the dropped D2H leaves the waited upload of "u" with no live
+        # reader — but its tombstoned reader still counts, so no GR203
+        assert [e["action"] for e in report.elided] == ["dropped-output"]
+        assert _rules(analyze_graph(optimized)) == []
+
+    def test_genuinely_dead_upload_still_fires_after_other_passes(self):
+        from repro.graphopt import optimize_graph
+
+        ctx = DeviceContext("h100")
+        s = ctx.stream("s")
+        buf = ctx.enqueue_create_buffer(DType.float64, 8, label="unused")
+        live = ctx.enqueue_create_buffer(DType.float64, 8, label="live")
+        with ctx.capture("dead") as graph:
+            buf.copy_from_host(np.zeros(8), stream=s)
+            live.copy_from_host(np.ones(8), stream=s)
+            live.copy_to_host(stream=s)
+        # without the elide pass the dead upload stays live — and flagged
+        optimized, _ = optimize_graph(graph, "fuse", check=False)
+        assert _rules(analyze_graph(optimized)) == ["GR203"]
+        # the elide pass is exactly the fix the warning asks for
+        optimized, _ = optimize_graph(graph, "elide")
+        assert _rules(analyze_graph(optimized)) == []
+
+    def test_op_elided_predicate(self):
+        from repro.analysis.racecheck import op_elided
+        from repro.graphopt import optimize_graph
+
+        graph = self._waited_upload_graph()
+        optimized, _ = optimize_graph(graph, "elide", drop_outputs=("u",))
+        flags = {op_elided(op) for op in optimized.ops}
+        assert flags == {True, False}
+        for op in optimized.ops:
+            if op_elided(op):
+                assert op.meta["graphopt"]["pass"] == "elide"

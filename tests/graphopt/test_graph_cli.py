@@ -1,0 +1,98 @@
+"""The ``repro graph`` CLI surface — the graph-compiler CI gate command."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_ci_gate_invocation():
+    args = build_parser().parse_args(["graph", "--all", "--passes", "all",
+                                      "--json"])
+    assert args.command == "graph"
+    assert args.graph_all and args.json
+    assert args.passes == "all"
+
+
+def test_graph_single_workload_json(capsys):
+    assert main(["graph", "babelstream", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.graphopt-report/v1"
+    assert payload["passes"] == ["elide", "fuse", "hoist"]
+    (entry,) = payload["graphs"]
+    assert entry["workload"] == "babelstream"
+    assert entry["kernels_before"] == 4 and entry["kernels_after"] == 1
+    assert entry["fused"][0]["parts"] == ["copy_kernel", "mul_kernel",
+                                          "add_kernel", "triad_kernel"]
+    assert entry["lint_clean"] is True
+    # the surviving fused kernel reports its lowering outcome
+    assert all(low["lowered"] for low in entry["lowering"])
+
+
+def test_graph_all_covers_registry_and_exits_clean(capsys):
+    assert main(["graph", "--all", "--passes", "all", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    workloads = {entry["workload"] for entry in payload["graphs"]}
+    assert {"babelstream", "stencil", "minibude", "hartreefock"} <= workloads
+    for entry in payload["graphs"]:
+        if entry.get("graph") is not None:
+            assert entry["lint_clean"] is True
+
+
+def test_graph_text_rendering_mentions_fusion(capsys):
+    assert main(["graph", "babelstream"]) == 0
+    out = capsys.readouterr().out
+    assert "fused:" in out
+    assert "optimized graph lint: clean" in out
+
+
+def test_graph_subset_of_passes(capsys):
+    assert main(["graph", "babelstream", "--passes", "elide", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["passes"] == ["elide"]
+    (entry,) = payload["graphs"]
+    assert entry["fused"] == []  # fusion not requested
+    assert entry["kernels_after"] == entry["kernels_before"]
+
+
+def test_graph_output_writes_payload_file(tmp_path, capsys):
+    out_path = tmp_path / "graphopt.json"
+    assert main(["graph", "stencil", "--json",
+                 "--output", str(out_path)]) == 0
+    on_disk = json.loads(out_path.read_text())
+    assert on_disk["schema"] == "repro.graphopt-report/v1"
+    assert on_disk == json.loads(capsys.readouterr().out)
+
+
+def test_graph_unknown_workload_is_config_error(capsys):
+    assert main(["graph", "nosuchworkload"]) == 2
+    assert "graph:" in capsys.readouterr().err
+
+
+def test_graph_unknown_pass_is_config_error(capsys):
+    assert main(["graph", "babelstream", "--passes", "vectorize"]) == 2
+    assert "graph:" in capsys.readouterr().err
+
+
+def test_graph_requires_a_target(capsys):
+    assert main(["graph"]) == 2
+
+
+def test_graph_rejects_both_name_and_all(capsys):
+    assert main(["graph", "stencil", "--all"]) == 2
+
+
+def test_graphopt_report_section_renders():
+    """The EXPERIMENTS.md section: per-workload speedups plus the Φ row."""
+    from repro.graphopt import graphopt_report
+
+    report = graphopt_report(["babelstream"], repeats=2)
+    (row,) = report.rows
+    assert row.workload == "babelstream"
+    assert row.fused_speedup is not None and row.fused_speedup > 0
+    assert "fused_speedup" in report.mean_speedups()
+    markdown = report.to_markdown()
+    assert "Φ (mean)" in markdown and "babelstream" in markdown
+    payload = report.as_dict()
+    assert payload["rows"][0]["unfused_s"] > 0

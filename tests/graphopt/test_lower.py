@@ -1,0 +1,205 @@
+"""The NumPy-codegen lowering tier: legality, bit-identity, memoisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.device import DeviceContext
+from repro.core.dtypes import DType
+from repro.core.intrinsics import any_lane, block_dim, block_idx, compress_lanes, thread_idx
+from repro.core.kernel import LaunchConfig, kernel
+from repro.core.layout import Layout
+from repro.gpu.executor import KernelExecutor
+from repro.graphopt import lower_launch, lower_source, lowering_report
+from repro.kernels.babelstream.kernels import (
+    SCALAR,
+    START_A,
+    START_B,
+    START_C,
+    add_kernel,
+    copy_kernel,
+    dot_kernel,
+    mul_kernel,
+    triad_kernel,
+)
+from repro.kernels.stencil.kernel import laplacian_kernel
+from repro.kernels.stencil.problem import StencilProblem
+from repro.kernels.stencil.runner import stencil_launch_config
+
+
+N = 1 << 10
+
+
+@kernel(name="_inplace_scale", vector_safe=True, strict=True)
+def _inplace_scale(a, scalar, n):
+    """``a[i] = scalar * a[i]`` — the store target is also read."""
+    i = block_dim.x * block_idx.x + thread_idx.x
+    m = i < n
+    if not any_lane(m):
+        return
+    i = compress_lanes(m, i)
+    a[i] = scalar * a[i]
+
+
+def _stream_tensors(ctx, n=N):
+    bufs, tensors = {}, {}
+    for label, start in (("a", START_A), ("b", START_B), ("c", START_C)):
+        bufs[label] = ctx.enqueue_create_buffer(DType.float64, n, label=label)
+        bufs[label].copy_from_host(np.full(n, start))
+        tensors[label] = bufs[label].tensor()
+    return bufs, tensors
+
+
+class TestLowerSource:
+    def test_copy_kernel_lowers_to_whole_array_slice(self):
+        ctx = DeviceContext("h100")
+        bufs, t = _stream_tensors(ctx)
+        launch = LaunchConfig.for_elements(N, 256)
+        source = lower_source(copy_kernel, (t["a"], t["c"], N), launch)
+        assert source is not None
+        assert "def _entry(*args):" in source
+        # the tail guard bakes to the exact extent: lanes [0, N)
+        assert f"_d1[0:{N}] = _d0[0:{N}]" in source
+
+    def test_partial_tail_bakes_tight_bounds(self):
+        # n smaller than the launched lane count: the mask tightens the slice
+        ctx = DeviceContext("h100")
+        bufs, t = _stream_tensors(ctx)
+        launch = LaunchConfig.for_elements(N, 256)  # 1024 lanes
+        source = lower_source(copy_kernel, (t["a"], t["c"], 1000), launch)
+        assert "[0:1000]" in source
+
+    def test_read_modify_write_materialises_rhs(self):
+        ctx = DeviceContext("h100")
+        bufs, t = _stream_tensors(ctx)
+        launch = LaunchConfig.for_elements(N, 256)
+        source = lower_source(_inplace_scale, (t["a"], SCALAR, N), launch)
+        assert ".copy()" in source
+
+    def test_barrier_kernel_is_rejected_with_reason(self):
+        ctx = DeviceContext("h100")
+        n, tb = 512, 64
+        bufs, t = _stream_tensors(ctx, n)
+        sums_buf = ctx.enqueue_create_buffer(DType.float64, n // tb,
+                                             label="sums")
+        args = (t["a"], t["b"], sums_buf.tensor(), n, tb)
+        launch = LaunchConfig.make(n // tb, tb)
+        assert lower_launch(dot_kernel, args, launch) is None
+        report = lowering_report(dot_kernel, args, launch)
+        assert report["kernel"] == "dot_kernel"
+        assert report["lowered"] is False
+        assert report["reason"]
+
+    def test_report_for_lowerable_kernel_carries_source(self):
+        ctx = DeviceContext("h100")
+        bufs, t = _stream_tensors(ctx)
+        launch = LaunchConfig.for_elements(N, 256)
+        report = lowering_report(copy_kernel, (t["a"], t["c"], N), launch)
+        assert report["lowered"] is True
+        assert "def _entry" in report["source"]
+
+
+class TestMemoisation:
+    def test_same_specialisation_reuses_the_entry(self):
+        ctx = DeviceContext("h100")
+        bufs, t = _stream_tensors(ctx)
+        launch = LaunchConfig.for_elements(N, 256)
+        args = (t["a"], t["c"], N)
+        first = lower_launch(copy_kernel, args, launch)
+        second = lower_launch(copy_kernel, args, launch)
+        assert first is second is not None
+
+    def test_new_scalar_value_is_a_new_specialisation(self):
+        # bounds bake scalar argument values into the generated slices
+        ctx = DeviceContext("h100")
+        bufs, t = _stream_tensors(ctx)
+        launch = LaunchConfig.for_elements(N, 256)
+        full = lower_launch(copy_kernel, (t["a"], t["c"], N), launch)
+        tail = lower_launch(copy_kernel, (t["a"], t["c"], N - 24), launch)
+        assert full is not None and tail is not None
+        assert full is not tail
+
+
+class TestExecutorDispatch:
+    def test_lowered_mode_runs_the_compiled_entry(self):
+        ctx = DeviceContext("h100")
+        bufs, t = _stream_tensors(ctx)
+        launch = LaunchConfig.for_elements(N, 256)
+        result = KernelExecutor().launch(copy_kernel, (t["a"], t["c"], N),
+                                         launch, mode="lowered")
+        assert result.mode == "lowered"
+        assert result.counters.threads_run == launch.total_threads
+        assert result.counters.blocks_run == launch.num_blocks
+        np.testing.assert_array_equal(bufs["c"].array, bufs["a"].array)
+
+    def test_lowered_mode_falls_back_for_unsupported_bodies(self):
+        ctx = DeviceContext("h100")
+        n, tb = 512, 64
+        bufs, t = _stream_tensors(ctx, n)
+        sums_buf = ctx.enqueue_create_buffer(DType.float64, n // tb,
+                                             label="sums")
+        args = (t["a"], t["b"], sums_buf.tensor(), n, tb)
+        result = KernelExecutor().launch(dot_kernel, args,
+                                         LaunchConfig.make(n // tb, tb),
+                                         mode="lowered")
+        assert result.mode == "vectorized"  # fell back to the interpreter
+        expected = float(np.dot(bufs["a"].array, bufs["b"].array))
+        assert float(np.sum(sums_buf.array)) == pytest.approx(expected)
+
+    def test_stream_sweep_bit_identical_to_vectorized(self):
+        results = {}
+        for mode in ("vectorized", "lowered"):
+            ctx = DeviceContext("h100")
+            bufs, t = _stream_tensors(ctx)
+            launch = LaunchConfig.for_elements(N, 256)
+            ex = KernelExecutor()
+            for kern, args in ((copy_kernel, (t["a"], t["c"], N)),
+                               (mul_kernel, (t["b"], t["c"], SCALAR, N)),
+                               (add_kernel, (t["a"], t["b"], t["c"], N)),
+                               (triad_kernel, (t["a"], t["b"], t["c"],
+                                               SCALAR, N))):
+                res = ex.launch(kern, args, launch, mode=mode)
+                assert res.mode == mode
+            results[mode] = {k: bufs[k].array.copy() for k in bufs}
+        for label in ("a", "b", "c"):
+            assert np.array_equal(results["vectorized"][label],
+                                  results["lowered"][label]), label
+
+    def test_inplace_kernel_bit_identical_to_vectorized(self):
+        results = {}
+        for mode in ("vectorized", "lowered"):
+            ctx = DeviceContext("h100")
+            bufs, t = _stream_tensors(ctx)
+            res = KernelExecutor().launch(_inplace_scale,
+                                          (t["a"], SCALAR, N),
+                                          LaunchConfig.for_elements(N, 256),
+                                          mode=mode)
+            assert res.mode == mode
+            results[mode] = bufs["a"].array.copy()
+        assert np.array_equal(results["vectorized"], results["lowered"])
+
+    def test_stencil_bit_identical_to_vectorized(self):
+        L = 16
+        problem = StencilProblem(L, "float64")
+        u_host = problem.initial_field().reshape(-1)
+        sargs = problem.inverse_spacing_squared
+        launch = stencil_launch_config(L, (64, 4, 1))
+        layout = Layout.row_major(L, L, L)
+        results = {}
+        for mode in ("vectorized", "lowered"):
+            ctx = DeviceContext("h100")
+            u_buf = ctx.enqueue_create_buffer(problem.dtype, L ** 3,
+                                              label="u")
+            f_buf = ctx.enqueue_create_buffer(problem.dtype, L ** 3,
+                                              label="f")
+            u_buf.copy_from_host(u_host)
+            u = u_buf.tensor(layout, mut=False, bounds_check=False)
+            f = f_buf.tensor(layout, bounds_check=False)
+            res = KernelExecutor().launch(
+                laplacian_kernel, (f, u, L, L, L) + tuple(sargs),
+                launch, mode=mode)
+            assert res.mode == mode
+            results[mode] = f_buf.array.copy()
+        assert np.any(results["lowered"] != 0.0)
+        assert np.array_equal(results["vectorized"], results["lowered"])

@@ -1,0 +1,64 @@
+"""Property: graph-compiler rewrites never change replay results.
+
+The central soundness contract of the optimizing pipeline (ISSUE-8): for
+every workload capture and every pass combination, replaying the optimized
+graph produces bit-identical outputs to replaying the capture as recorded.
+Not approximately equal — ``np.array_equal``: the passes reorder and
+specialise execution but perform the very same element operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphopt import optimize_graph
+from repro.workloads import get_workload, list_workloads
+
+WORKLOADS = tuple(list_workloads())
+PASS_COMBOS = ("elide", "fuse", "hoist", "elide,fuse", "all")
+
+
+def _assert_bit_identical(base, opt):
+    assert set(base) == set(opt)
+    for label in base:
+        assert np.array_equal(base[label], opt[label]), label
+
+
+@pytest.mark.parametrize("passes", PASS_COMBOS)
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_optimized_replay_is_bit_identical(name, passes):
+    workload = get_workload(name)
+    graph = workload.lint_graph()
+    if graph is None:
+        pytest.skip(f"{name} declares no lint graph")
+    base = graph.replay()
+    optimized, _report = optimize_graph(graph, passes)
+    _assert_bit_identical(base, optimized.replay())
+    # replaying the optimized graph again stays stable (memsets/h2ds rerun)
+    _assert_bit_identical(base, optimized.replay())
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_pinned_hoist_is_bit_identical(name):
+    """pin="all" (upload-once) must never pin a non-invariant transfer."""
+    workload = get_workload(name)
+    graph = workload.lint_graph()
+    if graph is None:
+        pytest.skip(f"{name} declares no lint graph")
+    base = graph.replay()
+    optimized, _report = optimize_graph(graph, "hoist", pin="all")
+    _assert_bit_identical(base, optimized.replay())
+    _assert_bit_identical(base, optimized.replay())
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_optimized_probe_matches_unoptimized(name):
+    """The RunRequest.optimize opt-in path preserves probe replays too."""
+    workload = get_workload(name)
+    plain = workload.tuning_probe(workload.make_request(verify=False))
+    if plain is None:
+        pytest.skip(f"{name} declares no tuning probe")
+    optimized = workload.tuning_probe(
+        workload.make_request(verify=False, optimize="all"))
+    _assert_bit_identical(plain.replay(), optimized.replay())
