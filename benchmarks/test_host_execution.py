@@ -351,6 +351,33 @@ def test_bench_lint_vector_safe_hot_path(benchmark):
     assert benchmark(run) is True
 
 
+def test_bench_region_analysis_memoised(benchmark):
+    """Memoised region concretization must stay dict-lookup cheap.
+
+    The race detector, the bounds checker and the fusion cover test all
+    call ``concretize_launch`` per kernel op; after the first analysis of
+    a ``(kernel, launch, shapes)`` triple every repeat is two dict
+    lookups.  A thousand concretizations per round keeps the timing above
+    clock noise; a regression here means the abstract interpreter leaked
+    past its memo.
+    """
+    from repro.analysis.regions import TensorSpec, concretize_launch
+
+    L = 64
+    spec = TensorSpec((L, L, L))
+    args = (spec, spec, L, L, L, 1.0, 1.0, 1.0, 1.0 / 6.0)
+    launch = stencil_launch_config(L, (64, 1, 1))
+    concretize_launch(laplacian_kernel, args, launch)   # prime the memo
+
+    def run():
+        lr = None
+        for _ in range(1000):
+            lr = concretize_launch(laplacian_kernel, args, launch)
+        return lr
+
+    assert benchmark(run) is not None
+
+
 def _stencil_graph_capture(L, mode):
     """An H2D -> laplacian -> D2H capture at *L*^3 in one executor *mode*."""
     from repro.core.device import DeviceContext

@@ -21,10 +21,24 @@ simulated substrate:
     and dead (written-never-read) transfers — the modelled-GPU analogue of
     compute-sanitizer's racecheck.
 
+:mod:`~repro.analysis.regions` / :mod:`~repro.analysis.symexpr`
+    Symbolic access-region analysis: an abstract interpreter over kernel
+    ASTs computes per-buffer-parameter read/write regions as affine
+    interval expressions in the launch intrinsics, concretizable against
+    an actual launch and buffer shapes.  Feeds region-precision race
+    verdicts (``GR201`` suppression, ``GR204`` partial overlaps), proven
+    out-of-bounds findings (``KV106``) and KV103 discharge, cover-set
+    fusion legality for the graph compiler, and exact byte traffic for
+    the tuning roofline.
+
 :mod:`~repro.analysis.lint`
     Orchestration for the ``repro lint`` CLI and the CI gate: verify every
     registered kernel, capture each workload's lint graph and run it
     through the race detector, and render the findings as text or JSON.
+
+:mod:`~repro.analysis.rules`
+    The rule catalog: every ``KVxxx`` / ``GRxxx`` id with its doc block,
+    parsed from the analysis module docstrings (``repro lint --explain``).
 
 Analysis runs at decoration time (``@kernel(strict=True)``), capture time
 (``ctx.capture(check=True)``) or lint time — never on the hot launch /
@@ -32,20 +46,40 @@ replay path, so the unused-path overhead is zero.
 """
 
 from .diagnostics import Diagnostic, LintReport, Severity
-from .lint import lint_graphs, lint_kernels, run_lint, shipped_kernels
+from .lint import (discharge_proven, lint_graphs, lint_kernels, run_lint,
+                   shipped_kernels)
 from .racecheck import analyze_graph, analyze_ops
+from .regions import (LaunchRegions, RegionSummary, TensorSpec,
+                      bounds_diagnostics, concretize_launch, covers,
+                      kernel_regions, launch_traffic, region_conflict)
+from .rules import rule_catalog, rule_doc
+from .symexpr import Interval, launch_env
 from .verifier import VerifierResult, lint_kernel, verify_kernel
 
 __all__ = [
     "Diagnostic",
+    "Interval",
+    "LaunchRegions",
     "LintReport",
+    "RegionSummary",
     "Severity",
+    "TensorSpec",
     "VerifierResult",
     "analyze_graph",
     "analyze_ops",
+    "bounds_diagnostics",
+    "concretize_launch",
+    "covers",
+    "discharge_proven",
+    "kernel_regions",
+    "launch_env",
+    "launch_traffic",
     "lint_graphs",
     "lint_kernel",
     "lint_kernels",
+    "region_conflict",
+    "rule_catalog",
+    "rule_doc",
     "run_lint",
     "shipped_kernels",
     "verify_kernel",

@@ -119,6 +119,33 @@ class LintReport:
         """The distinct rule ids that fired, sorted (test helper)."""
         return tuple(sorted({d.rule for d in self.diagnostics}))
 
+    def sorted_diagnostics(self) -> Tuple[Diagnostic, ...]:
+        """Diagnostics in a run-independent order.
+
+        Sorted by severity (errors first), rule id, site, then subject and
+        message — so JSON output and CI asserts are stable regardless of
+        registry or workload iteration order.
+        """
+        rank = {s: i for i, s in enumerate(Severity.ALL)}
+        return tuple(sorted(
+            self.diagnostics,
+            key=lambda d: (rank.get(d.severity, len(rank)), d.rule,
+                           d.source, d.line if d.line is not None else -1,
+                           d.subject, d.message)))
+
+    def rule_counts(self) -> Dict[str, int]:
+        """Firing counts for every known rule (zero-filled catalog).
+
+        Every rule in the :mod:`repro.analysis.rules` catalog appears with
+        an explicit count — CI gates assert ``rules["KV106"] == 0`` without
+        needing the rule to have fired.
+        """
+        from .rules import rule_catalog
+        counts = {rule: 0 for rule in rule_catalog()}
+        for d in self.diagnostics:
+            counts[d.rule] = counts.get(d.rule, 0) + 1
+        return counts
+
     # ----------------------------------------------------------- rendering
     def summary(self) -> Dict[str, object]:
         return {
@@ -131,15 +158,16 @@ class LintReport:
 
     def as_dict(self) -> Dict[str, object]:
         return {
-            "diagnostics": [d.as_dict() for d in self.diagnostics],
-            "kernels": list(self.kernels),
-            "graphs": list(self.graphs),
+            "diagnostics": [d.as_dict() for d in self.sorted_diagnostics()],
+            "kernels": sorted(self.kernels),
+            "graphs": sorted(self.graphs),
             "notes": list(self.notes),
+            "rules": self.rule_counts(),
             "summary": self.summary(),
         }
 
     def render(self) -> str:
-        lines = [str(d) for d in self.diagnostics]
+        lines = [str(d) for d in self.sorted_diagnostics()]
         lines.extend(f"note: {n}" for n in self.notes)
         s = self.summary()
         lines.append(

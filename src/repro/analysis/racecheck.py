@@ -16,10 +16,25 @@ buffer the other touches, the replayed interleaving the runtime happens to
 pick is the only thing standing between the program and a wrong answer —
 that is rule ``GR201``.
 
+Whole-buffer conflicts are refined by the symbolic region analysis
+(:mod:`repro.analysis.regions`): when both sides' concretized access boxes
+are exact, provably disjoint index sets are *not* a race and the pair is
+suppressed; overlapping-but-not-identical boxes downgrade to the more
+precise ``GR204``.  Inexact (⊤) regions keep the conservative ``GR201``
+verdict, so region precision never hides a real race.
+
 Rules
 -----
 ``GR201`` cross-stream race — conflicting accesses (write/write or
-read/write) to one buffer from unordered operations on different streams.
+read/write) to one buffer from unordered operations on different streams,
+where the region analysis cannot prove the index sets disjoint (identical
+or unanalyzable regions).
+
+``GR204`` partial-overlap race — the region-precision form of ``GR201``:
+both operations' access boxes are exact, they overlap without coinciding,
+and the diagnostic names the exact conflicting index interval.  These are
+the subtlest races (tile halos, off-by-one partitions), so the extra
+precision goes straight into the message.
 
 ``GR202`` use-after-free — an operation whose buffer was freed before the
 analysis ran (the op would raise at drain time; the diagnostic names the
@@ -58,6 +73,7 @@ __all__ = [
     "RULE_CROSS_STREAM_RACE",
     "RULE_USE_AFTER_FREE",
     "RULE_DEAD_TRANSFER",
+    "RULE_PARTIAL_OVERLAP",
     "analyze_graph",
     "analyze_ops",
     "op_accesses",
@@ -67,6 +83,7 @@ __all__ = [
 RULE_CROSS_STREAM_RACE = "GR201"
 RULE_USE_AFTER_FREE = "GR202"
 RULE_DEAD_TRANSFER = "GR203"
+RULE_PARTIAL_OVERLAP = "GR204"
 
 #: op kinds that only write their buffer
 _WRITE_KINDS = ("h2d", "memset")
@@ -132,13 +149,31 @@ def _op_site(op) -> str:
     return f" (enqueued at {site})" if site else ""
 
 
+def _site_location(*ops) -> Tuple[str, Optional[int]]:
+    """(source, line) from the first op carrying a recorded enqueue site."""
+    for op in ops:
+        site = getattr(op, "site", None)
+        if not site:
+            continue
+        path, sep, lineno = str(site).rpartition(":")
+        if sep and lineno.isdigit():
+            return path, int(lineno)
+        return str(site), None
+    return "", None
+
+
 def analyze_ops(ops: Sequence, *, subject: str = "<ops>",
-                source: str = "") -> List[Diagnostic]:
+                source: str = "",
+                regions: bool = True) -> List[Diagnostic]:
     """Race-check an ordered device-operation list; returns diagnostics.
 
     *ops* is any sequence of ``_Op``-shaped records in enqueue order —
     enqueue order is a valid topological order of the stream/event DAG, so
     happens-before sets can be built in one forward pass.
+
+    ``regions=False`` disables the region-precision refinement and reports
+    every whole-buffer conflict as GR201 — the PR-7 behaviour, kept as the
+    soundness baseline the property tests compare against.
     """
     diags: List[Diagnostic] = []
     n = len(ops)
@@ -151,12 +186,14 @@ def analyze_ops(ops: Sequence, *, subject: str = "<ops>",
             continue
         for buf in dict((id(b), b) for b in (*reads, *writes)).values():
             if getattr(buf, "freed", False):
+                site_src, site_line = _site_location(op)
                 diags.append(Diagnostic(
                     rule=RULE_USE_AFTER_FREE, severity=Severity.ERROR,
                     subject=f"{subject}:{op.name}",
                     message=f"{op.kind} operation {op.name!r} uses freed "
                             f"buffer {buf.label!r}{_op_site(op)}",
-                    source=source, category="graph"))
+                    source=site_src or source, line=site_line,
+                    category="graph"))
 
     # ------------------------------------------------- happens-before sets
     hb: List[Set[int]] = [set() for _ in range(n)]
@@ -209,6 +246,31 @@ def analyze_ops(ops: Sequence, *, subject: str = "<ops>",
                 if key in reported:
                     continue
                 reported.add(key)
+                overlap_txt = ""
+                if regions:
+                    verdict = _region_verdict(ops[i], ops[j], buf)
+                    if verdict == "disjoint":
+                        continue        # provably race-free index sets
+                    if isinstance(verdict, tuple):
+                        _, box, _shape = verdict
+                        from .regions import box_text
+                        overlap_txt = box_text(box)
+                site_src, site_line = _site_location(ops[j], ops[i])
+                if overlap_txt:
+                    diags.append(Diagnostic(
+                        rule=RULE_PARTIAL_OVERLAP, severity=Severity.ERROR,
+                        subject=f"{subject}:{buf.label}",
+                        message=f"{ops[i].kind} {ops[i].name!r} (stream "
+                                f"{stream_i!r}) and {ops[j].kind} "
+                                f"{ops[j].name!r} (stream {stream_j!r}) "
+                                f"race on buffer {buf.label!r} over the "
+                                f"partial index overlap {overlap_txt}; "
+                                f"record an Event after the first and "
+                                f"stream.wait() it before the second"
+                                f"{_op_site(ops[j])}",
+                        source=site_src or source, line=site_line,
+                        category="graph"))
+                    continue
                 diags.append(Diagnostic(
                     rule=RULE_CROSS_STREAM_RACE, severity=Severity.ERROR,
                     subject=f"{subject}:{buf.label}",
@@ -219,7 +281,8 @@ def analyze_ops(ops: Sequence, *, subject: str = "<ops>",
                             f"edge between them; record an Event after "
                             f"the first and stream.wait() it before the "
                             f"second{_op_site(ops[j])}",
-                    source=source, category="graph"))
+                    source=site_src or source, line=site_line,
+                    category="graph"))
 
     # ---------------------------------------------------------------- GR203
     for i in range(n):
@@ -235,6 +298,7 @@ def analyze_ops(ops: Sequence, *, subject: str = "<ops>",
                 any(b is buf for b in accesses[j][0])
                 for j in range(i + 1, n))
             if not read_later:
+                site_src, site_line = _site_location(op)
                 diags.append(Diagnostic(
                     rule=RULE_DEAD_TRANSFER, severity=Severity.WARNING,
                     subject=f"{subject}:{buf.label}",
@@ -243,11 +307,25 @@ def analyze_ops(ops: Sequence, *, subject: str = "<ops>",
                             f"(no kernel consumes it, no D2H downloads "
                             f"it); the transfer cost buys nothing"
                             f"{_op_site(op)}",
-                    source=source, category="graph"))
+                    source=site_src or source, line=site_line,
+                    category="graph"))
     return diags
 
 
-def analyze_graph(graph) -> List[Diagnostic]:
+def _region_verdict(op_a, op_b, buf):
+    """Region refinement of one whole-buffer conflict (never raises).
+
+    The analysis layer must not turn a lint run into a crash: any failure
+    inside the region machinery falls back to the whole-buffer verdict.
+    """
+    try:
+        from .regions import region_conflict
+        return region_conflict(op_a, op_b, buf)
+    except Exception:  # pragma: no cover - defensive
+        return None
+
+
+def analyze_graph(graph, *, regions: bool = True) -> List[Diagnostic]:
     """Race-check a captured :class:`DeviceGraph` (or anything op-shaped).
 
     Accepts the graph object itself (its recorded ``_ops`` are analysed)
@@ -257,4 +335,4 @@ def analyze_graph(graph) -> List[Diagnostic]:
     if ops is None:
         ops = list(graph)
     name = getattr(graph, "name", "<graph>")
-    return analyze_ops(ops, subject=name, source="")
+    return analyze_ops(ops, subject=name, source="", regions=regions)

@@ -1,0 +1,56 @@
+"""Rule catalog: ids and doc blocks for every static-analysis rule.
+
+The verifier and race detector document each rule as a dedicated
+paragraph in their module docstrings (``\\`\\`KVxxx\\`\\` …`` /
+``\\`\\`GRxxx\\`\\` …``).  This module parses those paragraphs into a
+catalog so ``repro lint --explain KV103`` prints the authoritative text
+— the docstring *is* the documentation, there is no second copy to
+drift — and so JSON reports can zero-fill a count for every known rule.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+__all__ = ["rule_catalog", "rule_doc"]
+
+_RULE_PARAGRAPH = re.compile(
+    r"^(?:Rules\s+-+\s+)?``((?:KV|GR)\d{3})``\s*(.*)$", re.DOTALL)
+
+#: rules documented outside the two analysis modules
+_EXTRA_RULES = {
+    "GR200": (
+        "graph capture failure — a workload's lint graph could not be "
+        "captured (the workload raised during ``lint_graph()``); the "
+        "exception text is carried in the diagnostic message."
+    ),
+}
+
+_catalog_cache: Optional[Dict[str, str]] = None
+
+
+def _paragraphs(doc: str):
+    for block in re.split(r"\n\s*\n", doc or ""):
+        yield " ".join(line.strip() for line in block.strip().splitlines())
+
+
+def rule_catalog() -> Dict[str, str]:
+    """``{rule_id: doc text}`` for every documented rule, sorted by id."""
+    global _catalog_cache
+    if _catalog_cache is not None:
+        return _catalog_cache
+    from . import racecheck, verifier
+    entries: Dict[str, str] = dict(_EXTRA_RULES)
+    for module in (verifier, racecheck):
+        for para in _paragraphs(module.__doc__):
+            m = _RULE_PARAGRAPH.match(para)
+            if m:
+                entries[m.group(1)] = m.group(2).strip()
+    _catalog_cache = dict(sorted(entries.items()))
+    return _catalog_cache
+
+
+def rule_doc(rule: str) -> Optional[str]:
+    """Doc block of one rule id (case-insensitive); None when unknown."""
+    return rule_catalog().get(rule.strip().upper())

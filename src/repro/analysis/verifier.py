@@ -44,6 +44,14 @@ both are exempt).
 ``KV105`` data-dependent ``while`` — a loop condition that varies per lane
 without an ``any_lane`` / ``all_lanes`` reduction.
 
+``KV106`` out-of-bounds access — the symbolic region analysis
+(:mod:`repro.analysis.regions`) proves an access escapes a buffer's extent
+under a concrete launch geometry: an unguarded endpoint-exact index whose
+interval leaves ``[0, extent)``, or a guarded index whose entire interval
+lies outside it.  Fired at graph-lint time, where the shipped launch and
+buffer shapes are known; the same concretization discharges ``KV103``
+warnings whose access is proven in-bounds under every observed launch.
+
 Verification is memoised on the underlying function object, so
 decoration-time checks (``@kernel(strict=True)``) and the launch-path
 ``kernel_vector_safe`` consultation pay the AST walk exactly once per
@@ -69,6 +77,7 @@ __all__ = [
     "RULE_UNGUARDED_INDEX",
     "RULE_SIMT_UNSAFE",
     "RULE_DATA_DEPENDENT_WHILE",
+    "RULE_OOB_ACCESS",
     "VerifierResult",
     "infer_vector_safe",
     "lint_kernel",
@@ -81,6 +90,7 @@ RULE_SHARED_RACE = "KV102"
 RULE_UNGUARDED_INDEX = "KV103"
 RULE_SIMT_UNSAFE = "KV104"
 RULE_DATA_DEPENDENT_WHILE = "KV105"
+RULE_OOB_ACCESS = "KV106"
 
 # taint lattice
 UNIFORM, GUARDED, LANE = 0, 1, 2

@@ -297,6 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the report as JSON instead of text")
     lint_p.add_argument("--no-graphs", action="store_true",
                         help="verify kernels only, skip the graph race check")
+    lint_p.add_argument("--explain", default=None, metavar="RULE",
+                        help="print the documentation block of one rule id "
+                             "(e.g. KV103, GR204) and exit; exit 2 when the "
+                             "rule is unknown")
+    lint_p.add_argument("--max-warnings", type=int, default=None,
+                        metavar="N",
+                        help="fail (exit 1) when the report carries more "
+                             "than N warning-severity diagnostics — errors "
+                             "always fail regardless")
 
     g_p = sub.add_parser(
         "graph",
@@ -349,9 +358,24 @@ def _cmd_lint(args) -> int:
 
     Exit 0 when clean (warnings allowed), 1 on any error-severity
     diagnostic — that asymmetry is the CI contract: warnings surface in
-    the report without blocking a merge.
+    the report without blocking a merge.  ``--max-warnings N`` tightens
+    it: more than N warnings also fail.  ``--explain RULE`` prints one
+    rule's documentation block (sourced from the analysis module
+    docstrings) and exits without linting anything.
     """
     from .analysis import run_lint
+
+    if args.explain is not None:
+        from .analysis.rules import rule_doc
+
+        doc = rule_doc(args.explain)
+        if doc is None:
+            print(f"lint: unknown rule {args.explain!r} (see 'repro lint "
+                  f"--all --json' for the catalog)", file=sys.stderr)
+            return 2
+        print(f"{args.explain.strip().upper()}")
+        print(doc)
+        return 0
 
     names = None if (args.lint_all or not args.workloads) else args.workloads
     report = run_lint(names, graphs=not args.no_graphs)
@@ -359,7 +383,16 @@ def _cmd_lint(args) -> int:
         print(json.dumps(report.as_dict(), indent=2))
     else:
         print(report.render())
-    return 0 if report.ok else 1
+    if not report.ok:
+        return 1
+    if args.max_warnings is not None:
+        warnings = sum(1 for d in report.diagnostics
+                       if d.severity == "warning")
+        if warnings > args.max_warnings:
+            print(f"lint: {warnings} warning(s) exceed --max-warnings "
+                  f"{args.max_warnings}", file=sys.stderr)
+            return 1
+    return 0
 
 
 def _graph_bench(workload, passes: str, repeats: int) -> dict:
@@ -964,7 +997,7 @@ def _cmd_report(ids: List[str], *, write: Optional[str], full: bool,
 #: microbenchmarks — the paths substrate changes regress first — while the
 #: multi-second reference benches stay out of the tier-1 flow)
 QUICK_BENCH_EXPR = ("executor or dispatch or vectorized or graph or tuned "
-                    "or lint or fused or lowered")
+                    "or lint or fused or lowered or region")
 
 
 def _run_host_benchmarks(bench_file: str, *, quick: bool = False,

@@ -784,6 +784,13 @@ class DeviceContext:
         Optional custom :class:`KernelExecutor` (tests inject small limits).
     """
 
+    #: process-wide default for ``record_sites``.  ``repro lint`` flips
+    #: this on around workload graph captures so contexts the workloads
+    #: construct internally record enqueue sites too, giving the race
+    #: diagnostics user-code ``file:line`` attribution without every
+    #: workload having to thread the flag through.
+    default_record_sites: bool = False
+
     def __init__(self, gpu="h100", *, eager: bool = True,
                  executor: Optional[KernelExecutor] = None,
                  record_sites: bool = False):
@@ -793,7 +800,7 @@ class DeviceContext:
         #: the op (one frame walk per enqueue) so diagnostics — notably
         #: use-after-free at drain time — can name where the bad op was
         #: issued.  Off by default: the hot enqueue path pays nothing.
-        self.record_sites = bool(record_sites)
+        self.record_sites = bool(record_sites) or type(self).default_record_sites
         self._tracker = AllocationTracker(self.spec)
         self._transfer_model = TransferModel(self.spec)
         self._executor = executor or KernelExecutor()

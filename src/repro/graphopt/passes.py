@@ -237,6 +237,28 @@ def _same_launch(a, b) -> bool:
             b.block_dim.x, b.block_dim.y, b.block_dim.z)
 
 
+def _launch_compatible(op, leader) -> bool:
+    """Fusion launch legality: identical launches, or a proven cover set.
+
+    Identical ``Dim3`` pairs fuse as before.  Otherwise the follower may
+    join the run when the symbolic region analysis proves that running it
+    under the *leader's* launch touches exactly the same index regions as
+    under its own (the extra lanes are all masked off by the kernel's own
+    guards) with no access leaving its buffers — then substituting the
+    leader's geometry is observationally equivalent and replay stays
+    bit-identical.
+    """
+    la = leader.meta["launch"]
+    lb = op.meta["launch"]
+    if _same_launch(la, lb):
+        return True
+    try:
+        from ..analysis.regions import covers
+        return covers(op.meta["kern"], op.meta["args"], lb, la)
+    except Exception:  # pragma: no cover - never let analysis break replay
+        return False
+
+
 def _op_buffer_ids(op) -> set:
     return {id(b) for b in op.buffers}
 
@@ -355,7 +377,7 @@ def _fuse_pass(ctx, ops: List, report: GraphOptReport) -> List:
             continue
         extends = (run and _fusable_kernel(op) and not op.waits
                    and op.stream is run[0].stream
-                   and _same_launch(op.meta["launch"], run[0].meta["launch"])
+                   and _launch_compatible(op, run[0])
                    and (_op_buffer_ids(op)
                         & set().union(*map(_op_buffer_ids, run))))
         if extends:

@@ -86,8 +86,17 @@ class CandidateEstimate:
 
 
 def estimate_candidate(gpu, model: KernelModel, launch: LaunchConfig,
-                       config: TuningConfig) -> CandidateEstimate:
-    """Score one candidate from occupancy + roofline, without compiling."""
+                       config: TuningConfig, *,
+                       traffic: Optional[Tuple[float, float]] = None
+                       ) -> CandidateEstimate:
+    """Score one candidate from occupancy + roofline, without compiling.
+
+    *traffic* optionally supplies exact ``(read_bytes, write_bytes)`` from
+    the symbolic region analysis (:func:`repro.analysis.regions.launch_traffic`);
+    when given it replaces the coarse ``bytes_per_thread × active`` memory
+    estimate, so guard-masked tails and stencil halos stop inflating the
+    memory term.
+    """
     spec: GPUSpec = get_gpu(gpu)
     try:
         occ = compute_occupancy(
@@ -101,7 +110,10 @@ def estimate_candidate(gpu, model: KernelModel, launch: LaunchConfig,
                                  reason=str(exc), modelled_ms=float("inf"))
 
     active = launch.total_threads * model.active_fraction
-    total_bytes = model.bytes_per_thread() * active
+    if traffic is not None:
+        total_bytes = float(traffic[0]) + float(traffic[1])
+    else:
+        total_bytes = model.bytes_per_thread() * active
     total_flops = model.total_flops(active)
 
     # Latency hiding and device fill, as coarse occupancy-derived derates.
@@ -149,6 +161,21 @@ def estimate_candidate(gpu, model: KernelModel, launch: LaunchConfig,
     )
 
 
+def _probe_traffic(workload, request,
+                   launch: LaunchConfig) -> Optional[Tuple[float, float]]:
+    """Exact (read, write) bytes for one candidate, or None to fall back."""
+    try:
+        probe = workload.region_probe(request)
+        if probe is None:
+            return None
+        kern, args = probe
+        from ..analysis.regions import launch_traffic
+
+        return launch_traffic(kern, args, launch)
+    except Exception:  # noqa: BLE001 - analysis must never break tuning
+        return None
+
+
 @dataclass
 class PruneReport:
     """Outcome of the pre-measurement pruning pass over a space."""
@@ -188,6 +215,11 @@ def prune_space(workload, request, space: TuningSpace, *,
     ``keep_ratio`` times the best estimate in the space.  ``enabled=False``
     keeps every feasible candidate (used to validate that pruning does not
     change winners).  Kept candidates are returned best-estimate-first.
+
+    Workloads exposing :meth:`~repro.workloads.base.Workload.region_probe`
+    get their memory term from the symbolic region analysis — exact
+    bytes moved under each candidate's launch — instead of the coarse
+    per-thread model; a probe or analysis failure silently falls back.
     """
     report = PruneReport(keep_ratio=keep_ratio)
     for config in space.candidates():
@@ -199,7 +231,9 @@ def prune_space(workload, request, space: TuningSpace, *,
                                          reason=str(exc),
                                          modelled_ms=float("inf"))
         else:
-            estimate = estimate_candidate(tuned.gpu, model, launch, config)
+            estimate = estimate_candidate(tuned.gpu, model, launch, config,
+                                          traffic=_probe_traffic(
+                                              workload, tuned, launch))
         report.estimates.append(estimate)
 
     feasible = [e for e in report.estimates if e.feasible]

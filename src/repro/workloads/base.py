@@ -502,6 +502,18 @@ class Workload:
         """
         return None
 
+    def region_probe(self, request: RunRequest):
+        """``(kernel, args)`` for symbolic traffic estimation, or None.
+
+        *args* mirror a real launch argument list, with buffer arguments
+        replaced by :class:`~repro.analysis.regions.TensorSpec` (shape +
+        dtype — no allocation).  The candidate pruner concretizes the
+        kernel's access regions against each candidate launch and feeds
+        the exact bytes moved into the roofline estimate; returning None
+        (the default) keeps the coarse per-thread byte model.
+        """
+        return None
+
     # ------------------------------------------------------------ graphopt
     @staticmethod
     def _maybe_optimize(graph, request: "RunRequest"):

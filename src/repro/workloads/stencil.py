@@ -140,6 +140,19 @@ class StencilWorkload(Workload):
         model = stencil_kernel_model(L=p["L"], precision=request.precision)
         return model, stencil_launch_config(p["L"], p["block_shape"])
 
+    def region_probe(self, request: RunRequest):
+        """Stencil argument skeleton for symbolic traffic estimation."""
+        from ..analysis.regions import TensorSpec
+        from ..kernels.stencil.kernel import laplacian_kernel
+
+        p = self.validate_params(request.params)
+        L = p["L"]
+        problem = StencilProblem(L, request.precision)
+        invhx2, invhy2, invhz2, invhxyz2 = problem.inverse_spacing_squared
+        spec = TensorSpec((L, L, L), request.precision)
+        return laplacian_kernel, (spec, spec, L, L, L,
+                                  invhx2, invhy2, invhz2, invhxyz2)
+
     def tuning_probe(self, request: RunRequest):
         """Capture the H2D → kernel → D2H pipeline on a reduced grid."""
         from ..core.device import DeviceContext

@@ -129,7 +129,14 @@ class TestFusion:
         assert optimized.num_kernels == 2
         _replays_equal(graph.replay(), optimized.replay())
 
-    def test_different_launch_never_fuses(self):
+    def test_covered_launch_fuses_bit_identical(self):
+        """Non-identical launches fuse once regions prove a cover set.
+
+        Both kernels guard with ``i < n`` over the same 256 elements, so
+        the symbolic regions under either geometry are identical — the
+        follower legally joins the leader's run and replay is
+        bit-identical.
+        """
         n = 256
         ctx = DeviceContext("h100")
         a_buf = ctx.enqueue_create_buffer(DType.float64, n, label="a")
@@ -143,7 +150,33 @@ class TestFusion:
                                  grid_dim=2, block_dim=128)
             c_buf.copy_to_host()
         optimized, report = optimize_graph(graph, "fuse")
+        assert len(report.fused) == 1
+        assert report.fused[0]["parts"] == ["copy_kernel", "add_kernel"]
+        assert optimized.num_kernels == 1
+        _replays_equal(graph.replay(), optimized.replay())
+
+    def test_uncovered_launch_never_fuses(self):
+        """A launch pair whose regions differ stays unfused.
+
+        The follower only carries 128 lanes, so under its own launch it
+        writes ``[0..127]`` — running it under the leader's 256-lane
+        geometry would double the region.  No cover, no fusion.
+        """
+        n = 256
+        ctx = DeviceContext("h100")
+        a_buf = ctx.enqueue_create_buffer(DType.float64, n, label="a")
+        c_buf = ctx.enqueue_create_buffer(DType.float64, n, label="c")
+        a, c = a_buf.tensor(), c_buf.tensor()
+        with ctx.capture("launches") as graph:
+            a_buf.copy_from_host(np.ones(n))
+            ctx.enqueue_function(copy_kernel, a, c, n,
+                                 grid_dim=4, block_dim=64)
+            ctx.enqueue_function(add_kernel, a, c, c, n,
+                                 grid_dim=1, block_dim=128)
+            c_buf.copy_to_host()
+        optimized, report = optimize_graph(graph, "fuse")
         assert report.fused == []
+        assert optimized.num_kernels == 2
         _replays_equal(graph.replay(), optimized.replay())
 
     def test_multi_chunk_launch_never_fuses(self):
