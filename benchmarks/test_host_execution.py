@@ -460,3 +460,56 @@ def test_bench_fused_babelstream_graph_replay(benchmark):
     assert report.fused and fused.num_kernels == 1
     result = benchmark(fused.replay)
     assert np.all(np.isfinite(result["a"]))
+
+
+def test_bench_trace_disabled_workload_dispatch(benchmark):
+    """Workload.run with the tracing instrumentation present but disabled.
+
+    Identical work to ``test_bench_workload_dispatch``; the committed
+    baselines must stay within 2x of each other (guarded in
+    test_benchcheck.py) — the observability layer's disabled path is one
+    module-attribute read per hook site plus one histogram sample per run.
+    """
+    from repro.obs.trace import active_collector
+    from repro.workloads import get_workload
+
+    assert active_collector() is None
+    protocol = MeasurementProtocol(warmup=0, repeats=3)
+
+    def run():
+        workload = get_workload("stencil")
+        request = workload.make_request(
+            gpu="h100", backend="mojo", precision="float32",
+            params={"L": 64}, protocol=protocol, verify=False)
+        return workload.run(request)
+
+    result = benchmark(run)
+    assert result.metrics["bandwidth_gbs"] > 0
+    assert not result.verification.ran
+
+
+def test_bench_traced_stencil_run(benchmark):
+    """A span-enabled stencil run: collector install, nested spans and
+    context registration on top of the dispatch path.
+
+    Tracing is a debugging surface, not a hot path; this baseline records
+    what ``repro trace`` / ``bench --trace`` cost and only guards against
+    pathological slowdowns.
+    """
+    from repro.obs import TraceCollector, install_trace_collector
+    from repro.workloads import get_workload
+
+    protocol = MeasurementProtocol(warmup=0, repeats=3)
+
+    def run():
+        workload = get_workload("stencil")
+        request = workload.make_request(
+            gpu="h100", backend="mojo", precision="float32",
+            params={"L": 64}, protocol=protocol, verify=False)
+        collector = TraceCollector()
+        with install_trace_collector(collector):
+            workload.run(request)
+        return collector
+
+    collector = benchmark(run)
+    assert any(s.name == "workload.run" for s in collector.spans)

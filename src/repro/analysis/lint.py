@@ -240,4 +240,8 @@ def run_lint(workloads: Optional[Sequence[str]] = None, *,
                 f"{discharged} KV103 warning(s) discharged by region "
                 f"analysis (access proven in-bounds under every shipped "
                 f"launch)")
+    from ..obs import metrics as _obs_metrics
+
+    for diag in report.diagnostics:
+        _obs_metrics.inc("lint_diagnostics_total", rule=diag.rule)
     return report

@@ -42,6 +42,15 @@ Subcommands
     happens-before stream race detector on each workload's
     ``lint_graph()`` capture.  ``repro lint --all --json`` is the CI
     gate; exit 1 means at least one error-severity diagnostic.
+``trace <workload>``
+    Run one workload with the tracing collector installed and export a
+    Chrome/Perfetto ``trace.json``: nested host spans (wall *and*
+    modelled durations) over the per-stream modelled device timelines,
+    plus the process-wide metrics snapshot.  Load the file in
+    https://ui.perfetto.dev or ``chrome://tracing``; without
+    ``--output``/``--json`` a per-span modelled-vs-wall summary is
+    printed instead.  ``bench --trace PATH`` offers the same export for
+    a full bench invocation.
 ``bench-compare``
     Guard the host-execution microbenchmarks against performance
     regressions: compare a pytest-benchmark export (running the benchmarks
@@ -165,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="install a deterministic fault plan (JSON: seed + "
                           "rules) for this invocation — chaos testing; see "
                           "the README's resilience section for the format")
+    b_p.add_argument("--trace", default=None, metavar="TRACE.json",
+                     help="run under the tracing collector and write a "
+                          "Chrome/Perfetto trace of this invocation to "
+                          "PATH (bypasses the result cache: a cache hit "
+                          "performs no device work worth tracing)")
     fmt = b_p.add_mutually_exclusive_group()
     fmt.add_argument("--json", action="store_true",
                      help="emit the uniform result schema as JSON")
@@ -281,6 +295,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the tuned-vs-untuned portability section")
     rep_p.add_argument("--no-graphopt", action="store_true",
                        help="skip the graph-compiler speedup section")
+    rep_p.add_argument("--no-obs", action="store_true",
+                       help="skip the observability section (metrics "
+                            "counters and per-span modelled-vs-wall "
+                            "calibration errors)")
 
     lint_p = sub.add_parser(
         "lint",
@@ -329,6 +347,40 @@ def build_parser() -> argparse.ArgumentParser:
     g_p.add_argument("--output", default=None, metavar="PATH",
                      help="also write the JSON payload to PATH (e.g. "
                           "BENCH_graphopt.json with --bench)")
+
+    tr_p = sub.add_parser(
+        "trace",
+        help="run one workload under the tracing collector and export a "
+             "Chrome/Perfetto timeline")
+    tr_p.add_argument("workload", help="registered workload name "
+                                       "(see 'workloads')")
+    tr_p.add_argument("--gpu", default="h100",
+                      help="simulated GPU (default h100)")
+    tr_p.add_argument("--backend", default="mojo",
+                      help="backend/toolchain (default mojo)")
+    tr_p.add_argument("--param", action="append", default=[], metavar="K=V",
+                      help="workload parameter override (repeatable)")
+    tr_p.add_argument("--executor", default="auto",
+                      choices=["auto", "vectorized", "sequential",
+                               "cooperative", "lowered"],
+                      help="functional-simulator mode for verification "
+                           "launches (default auto)")
+    tr_p.add_argument("--optimize", default="none", metavar="PASSES",
+                      help="graph-compiler passes applied to captured "
+                           "device graphs ('none', 'all', or a subset of "
+                           "elide,fuse,hoist) — optimized replays appear "
+                           "as expanded graph slices on the timeline")
+    tr_p.add_argument("--streams", type=int, default=1, metavar="N",
+                      help="device streams (default 1); each stream is "
+                           "its own timeline lane in the trace")
+    tr_p.add_argument("--no-verify", action="store_true",
+                      help="skip functional verification")
+    tr_p.add_argument("--output", default=None, metavar="TRACE.json",
+                      help="write the Chrome trace to PATH (load in "
+                           "https://ui.perfetto.dev or chrome://tracing)")
+    tr_p.add_argument("--json", action="store_true",
+                      help="print the Chrome trace JSON to stdout instead "
+                           "of the span summary")
 
     bench_p = sub.add_parser(
         "bench-compare",
@@ -680,7 +732,19 @@ def _cmd_bench(args) -> int:
     runner, _ = _resilient_runner(workload, args.retries, args.timeout_ms)
     cache_note = "disabled (--no-cache)"
     with _inject_scope(args.inject):
-        if args.no_cache:
+        if args.trace:
+            from .obs import (TraceCollector, install_trace_collector,
+                              snapshot, write_chrome_trace)
+
+            # A result-cache hit replays a stored payload without any
+            # device activity, so tracing always runs the workload.
+            collector = TraceCollector()
+            with install_trace_collector(collector):
+                result = runner(request)
+            write_chrome_trace(args.trace, collector,
+                               metrics_snapshot=snapshot())
+            cache_note = "bypassed (--trace)"
+        elif args.no_cache:
             result = runner(request)
         elif args.tuned:
             # Tuned results depend on the mutable tuning database, so the
@@ -746,6 +810,9 @@ def _cmd_bench(args) -> int:
                          f"tune={ran['tune']}")
             print(f"resilience: {note}")
         print(f"result cache: {cache_note}")
+        if args.trace:
+            print(f"trace: wrote {args.trace} "
+                  "(load in https://ui.perfetto.dev or chrome://tracing)")
     return 0 if (not result.verification.ran
                  or result.verification.passed) else 1
 
@@ -941,7 +1008,8 @@ def _cmd_tune(args) -> int:
 
 
 def _cmd_report(ids: List[str], *, write: Optional[str], full: bool,
-                tuning: bool = True, graphopt: bool = True) -> int:
+                tuning: bool = True, graphopt: bool = True,
+                obs: bool = True) -> int:
     if not ids or any(i.lower() == "all" for i in ids):
         wanted = list_experiments()
     else:
@@ -951,7 +1019,17 @@ def _cmd_report(ids: List[str], *, write: Optional[str], full: bool,
         print(f"unknown experiment(s) {unknown}; available: "
               f"{', '.join(list_experiments())}", file=sys.stderr)
         return 2
-    results = [run_experiment(i, quick=not full) for i in wanted]
+    collector = None
+    if obs:
+        from .obs import TraceCollector, install_trace_collector
+
+        # Trace the experiment runs themselves so the observability
+        # section can report per-span modelled-vs-wall calibration error.
+        collector = TraceCollector()
+        with install_trace_collector(collector):
+            results = [run_experiment(i, quick=not full) for i in wanted]
+    else:
+        results = [run_experiment(i, quick=not full) for i in wanted]
 
     lines = [
         "# EXPERIMENTS",
@@ -981,6 +1059,10 @@ def _cmd_report(ids: List[str], *, write: Optional[str], full: bool,
 
         lines.append("")
         lines.append(graphopt_report().to_markdown())
+    if obs:
+        from .obs import observability_markdown
+
+        lines.extend(observability_markdown(collector))
     document = "\n".join(lines) + "\n"
 
     if write:
@@ -997,7 +1079,58 @@ def _cmd_report(ids: List[str], *, write: Optional[str], full: bool,
 #: microbenchmarks — the paths substrate changes regress first — while the
 #: multi-second reference benches stay out of the tier-1 flow)
 QUICK_BENCH_EXPR = ("executor or dispatch or vectorized or graph or tuned "
-                    "or lint or fused or lowered or region")
+                    "or lint or fused or lowered or region or trace")
+
+
+def _cmd_trace(args) -> int:
+    from .harness.runner import MeasurementProtocol
+    from .obs import (TraceCollector, build_chrome_trace,
+                      install_trace_collector, modelled_vs_wall, snapshot)
+    from .workloads import get_workload
+
+    workload = get_workload(args.workload)
+    request = workload.make_request(
+        gpu=args.gpu, backend=args.backend,
+        params=_parse_param_overrides(args.param),
+        protocol=MeasurementProtocol(warmup=0, repeats=1),
+        verify=not args.no_verify, executor=args.executor,
+        streams=args.streams, optimize=args.optimize,
+    )
+    collector = TraceCollector()
+    with install_trace_collector(collector):
+        result = workload.run(request)
+        if args.optimize != "none":
+            # Put the graph-compiled pipeline on the timeline too: the
+            # workload's capture/replay probe goes through the requested
+            # pass pipeline, and its replay expands into per-operation
+            # graph slices on the device tracks.
+            probe = workload.tuning_probe(request)
+            if probe is not None:
+                probe.replay()
+    trace = build_chrome_trace(collector, metrics_snapshot=snapshot())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh, indent=1)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(trace, indent=1))
+    else:
+        events = trace["traceEvents"]
+        tracks = {(e["pid"], e.get("tid", 0)) for e in events
+                  if e.get("ph") != "M"}
+        print(f"{workload.name} on {request.gpu}/{request.backend}: "
+              f"{len(collector.spans)} host span(s), "
+              f"{len(collector.contexts)} device context(s), "
+              f"{len(events)} trace event(s) on {len(tracks)} track(s)")
+        for row in modelled_vs_wall(collector):
+            print(f"  {row['name']}: wall {row['wall_ms']:.3f} ms, "
+                  f"modelled {row['modelled_ms']:.3f} ms "
+                  f"({row['error_pct']:+.1f}% host overhead)")
+        if args.output:
+            print(f"wrote Chrome trace to {args.output} "
+                  "(load in https://ui.perfetto.dev or chrome://tracing)")
+    return 0 if (not result.verification.ran
+                 or result.verification.passed) else 1
 
 
 def _run_host_benchmarks(bench_file: str, *, quick: bool = False,
@@ -1172,7 +1305,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         return _cmd_report(args.ids, write=args.write, full=args.full,
                            tuning=not args.no_tuning,
-                           graphopt=not args.no_graphopt)
+                           graphopt=not args.no_graphopt,
+                           obs=not args.no_obs)
+    if args.command == "trace":
+        try:
+            return _cmd_trace(args)
+        except ReproError as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 2
     if args.command == "lint":
         try:
             return _cmd_lint(args)

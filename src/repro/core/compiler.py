@@ -22,6 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
+from ..obs import metrics as _obs_metrics
 from .dtypes import DType
 from .errors import CompilationError
 from .kernel import KernelModel, LaunchConfig, MemoryPattern
@@ -481,6 +482,8 @@ def compile_kernel(
             if cached is not None:
                 _compile_cache_hits += 1
                 _compile_cache.move_to_end(key)
+        if cached is not None:
+            _obs_metrics.inc("compile_cache_hits_total")
     except TypeError:
         # Unhashable ingredient (e.g. an exotic pass pipeline): compile
         # straight through without memoisation.
@@ -496,6 +499,7 @@ def compile_kernel(
             _compile_cache[key] = cached
             while len(_compile_cache) > _COMPILE_CACHE_MAXSIZE:
                 _compile_cache.popitem(last=False)
+        _obs_metrics.inc("compile_cache_misses_total")
     return replace(cached, launch=launch, notes=list(cached.notes),
                    instruction_mix=dict(cached.instruction_mix))
 

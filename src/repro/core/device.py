@@ -65,6 +65,7 @@ import numpy as np
 from ..gpu.executor import ExecutionResult, KernelExecutor
 from ..gpu.memory import Allocation, AllocationTracker, MemorySpace, TransferModel
 from ..gpu.specs import GPUSpec, get_gpu
+from ..obs import trace as _trace
 from ..resilience import faults as _faults
 from .dtypes import DType, dtype_from_any
 from .errors import DeviceError, LaunchError
@@ -460,6 +461,10 @@ class DeviceGraph:
         self._event_offsets: List[Tuple[Event, float]] = []
         self._lane_busy_ms: Dict[str, float] = {}
         self._lane_end_ms: Dict[str, float] = {}
+        #: per-stream op schedule (kind/name/start/duration), recorded once
+        #: at compile time so trace export can expand a replay's summary
+        #: event into its constituent operations without re-simulating.
+        self._trace_schedule: Dict[str, List[dict]] = {}
         self._makespan_ms = 0.0
         self._kernels = 0
         self.replays = 0
@@ -611,6 +616,12 @@ class DeviceGraph:
                 start = max(start, marker)
             if op.kind == "event":
                 self._event_offsets.append((op.event, start))
+            else:
+                # Trace-export schedule: paid once per compile, never on
+                # replay, so the hot path stays collector-free.
+                self._trace_schedule.setdefault(op.stream.name, []).append(
+                    {"kind": op.kind, "name": op.name,
+                     "start_ms": start, "duration_ms": duration})
             clocks[op.stream.name] = start + duration
             busy[op.stream.name] = busy.get(op.stream.name, 0.0) + duration
         self._steps = steps
@@ -632,6 +643,17 @@ class DeviceGraph:
         for every captured D2H copy.  Raises :class:`DeviceError` for an
         unknown binding or a freed buffer.
         """
+        collector = _trace._ACTIVE
+        if collector is None:
+            return self._replay_impl(bindings, None)
+        with collector.span("graph.replay", graph=self.name,
+                            kernels=self._kernels,
+                            operations=len(self._steps)) as sp:
+            sp.set_modelled(self._makespan_ms)
+            return self._replay_impl(bindings, collector)
+
+    def _replay_impl(self, bindings: Dict[str, object],
+                     collector) -> Dict[str, np.ndarray]:
         if not self._compiled:
             raise DeviceError(
                 f"graph {self.name!r} is still capturing; close the "
@@ -709,9 +731,16 @@ class DeviceGraph:
         # offset (keeping elapsed_ms = makespan).  Every lane's clock still
         # advances to the graph's end — a graph completes as a unit.
         for s in self._streams:
+            det = details
+            if collector is not None:
+                # Traced replays carry the compile-time op schedule so the
+                # exporter can expand the summary slice; untraced replays
+                # share one details dict and pay nothing extra.
+                det = dict(details,
+                           schedule=self._trace_schedule.get(s.name, ()))
             self.ctx.timeline.append(StreamEvent(
                 "graph", self.name, self._lane_busy_ms.get(s.name, 0.0),
-                None, details, stream=s.name, start_ms=start,
+                None, det, stream=s.name, start_ms=start,
                 end_ms=start + self._lane_end_ms.get(s.name, 0.0)))
             s._clock_ms = end
         return outputs
@@ -812,6 +841,11 @@ class DeviceContext:
         #: (weak: an event dropped by the caller should not be kept alive)
         self._recorded_events: "weakref.WeakSet[Event]" = weakref.WeakSet()
         self.timeline: List[StreamEvent] = []
+        collector = _trace._ACTIVE
+        if collector is not None:
+            # Traced runs register every context they create so the export
+            # layer can merge its modelled timeline with the host spans.
+            collector.register_context(self)
 
     # --------------------------------------------------------------- streams
     def stream(self, name: str) -> Stream:
@@ -1033,9 +1067,19 @@ class DeviceContext:
         """
         if self._capture is not None:
             raise DeviceError("cannot synchronize during device-graph capture")
-        pending, self._pending = self._pending, []
-        for op in pending:
-            self._execute(op)
+        collector = _trace._ACTIVE
+        if collector is None:
+            pending, self._pending = self._pending, []
+            for op in pending:
+                self._execute(op)
+            return self.timeline
+        with collector.span("device.drain", device=self.spec.name,
+                            operations=len(self._pending)) as sp:
+            pending, self._pending = self._pending, []
+            modelled = 0.0
+            for op in pending:
+                modelled += self._execute(op).modelled_time_ms
+            sp.set_modelled(modelled)
         return self.timeline
 
     @property

@@ -55,6 +55,7 @@ from ..core.errors import AnalysisError, ConfigurationError
 from ..core.kernel import Kernel
 from ..gpu.executor import kernel_uses_barrier
 from ..gpu.vector_executor import kernel_vector_safe, single_chunk
+from ..obs import metrics as _obs_metrics
 
 __all__ = ["GraphOptReport", "PASS_NAMES", "optimize_graph", "parse_passes"]
 
@@ -485,6 +486,8 @@ def optimize_graph(graph, passes="all", *, pin=(), drop_outputs=(),
     report.ops_after = sum(1 for op in ops if not _is_elided(op))
     report.kernels_after = optimized.num_kernels
     report.makespan_after_ms = optimized.makespan_ms
+    _obs_metrics.inc("graphopt_ops_elided_total", len(report.elided))
+    _obs_metrics.inc("graphopt_ops_fused_total", len(report.fused))
     if check:
         from ..analysis.racecheck import analyze_graph
 

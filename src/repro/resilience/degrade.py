@@ -24,6 +24,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core.errors import ReproError, VerificationError
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _trace
 from .policy import Deadline, RetryPolicy
 
 __all__ = ["run_resilient", "degradation_ladder"]
@@ -99,10 +101,24 @@ def run_resilient(workload, request, *,
     fallback_step = 0
 
     for step_index, step in enumerate(steps):
+        if step_index > 0:
+            # Entering a lower rung of the ladder is a degradation step —
+            # counted once per rung actually attempted.
+            _obs_metrics.inc("degradation_steps_total")
         for attempt in range(1, policy.max_attempts + 1):
             attempts += 1
+            if attempt > 1:
+                _obs_metrics.inc("retry_attempts_total")
             try:
-                result = _run_once(workload, step, timeout_ms)
+                collector = _trace._ACTIVE
+                if collector is None:
+                    result = _run_once(workload, step, timeout_ms)
+                else:
+                    with collector.span(f"resilience.attempt[{attempts}]",
+                                        step=step_index,
+                                        executor=step.executor,
+                                        tune=step.tune):
+                        result = _run_once(workload, step, timeout_ms)
                 if check_verification and result.verification.ran \
                         and not result.verification.passed:
                     raise _VerificationFailed(result)

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigurationError, DeviceError, LaunchError
+from ..obs import metrics as _obs_metrics
 
 __all__ = [
     "FAULT_SITES",
@@ -256,6 +257,8 @@ class FaultInjector:
                     self._fired[pos] = fired + 1
                     self.events.append(FaultEvent(site=site, index=index,
                                                   key=key, kind=kind))
+                    _obs_metrics.inc("fault_injections_fired_total",
+                                     site=site)
                     return rule
         return None
 

@@ -29,6 +29,7 @@ from ..core.errors import (
     LaunchError,
     ReproError,
 )
+from ..obs import metrics as _obs_metrics
 
 __all__ = ["RetryPolicy", "Deadline", "CircuitBreaker"]
 
@@ -91,6 +92,7 @@ class RetryPolicy:
             except ReproError as exc:
                 if attempt >= self.max_attempts or not self.retryable(exc):
                     raise
+                _obs_metrics.inc("retry_attempts_total")
                 if on_retry is not None:
                     on_retry(attempt, exc)
                 self.sleep(self.delay_s(attempt))
@@ -216,6 +218,7 @@ class CircuitBreaker:
                 return False  # one half-open probe at a time
             if self._clock() - opened_at >= self.cooldown_s:
                 self._state(key)[2] = True  # half-open: admit one probe
+                _obs_metrics.inc("breaker_half_open_total")
                 return True
             return False
 
@@ -230,15 +233,26 @@ class CircuitBreaker:
 
     def record_success(self, key) -> None:
         with self._lock:
+            was_open = self._state(key)[1] is not None
             self._states[key] = [0, None, False]
+        if was_open:
+            # Only real recoveries count as a closed transition — a routine
+            # success on an already-closed circuit is not a state change.
+            _obs_metrics.inc("breaker_closed_total")
 
     def record_failure(self, key) -> None:
         with self._lock:
             state = self._state(key)
+            was_open = state[1] is not None and not state[2]
             state[0] += 1
             state[2] = False
             if state[0] >= self.threshold:
                 state[1] = self._clock()
+                opened = not was_open  # closed/half-open -> open
+            else:
+                opened = False
+        if opened:
+            _obs_metrics.inc("breaker_open_total")
 
     def state(self, key) -> str:
         """``"closed"``, ``"open"`` or ``"half-open"`` for *key*."""

@@ -33,6 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+from ..obs import metrics as _obs_metrics
 from .space import TuningConfig, TuningSpace
 
 __all__ = ["TuningRecord", "TuningDB", "DEFAULT_TUNE_DIR",
@@ -187,6 +188,7 @@ class TuningDB:
             if record is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                _obs_metrics.inc("tuning_db_hits_total")
                 return record
         if self.disk_dir is not None:
             record = self._disk_get(request.workload, key)
@@ -195,9 +197,12 @@ class TuningDB:
                     self._hits += 1
                     self._disk_hits += 1
                     self._remember(key, record)
+                _obs_metrics.inc("tuning_db_hits_total")
+                _obs_metrics.inc("tuning_db_disk_hits_total")
                 return record
         with self._lock:
             self._misses += 1
+        _obs_metrics.inc("tuning_db_misses_total")
         return None
 
     def put(self, request, record: TuningRecord,

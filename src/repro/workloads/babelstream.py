@@ -146,6 +146,8 @@ class BabelStreamWorkload(Workload):
         metrics = {f"{op}_gbs": result.bandwidths_gbs[op]
                    for op in BABELSTREAM_OPS}
         metrics["kernel_time_ms"] = sum(result.kernel_times_ms.values())
+        # Profiling counters for the primary-metric kernel (triad).
+        metrics.update(self.counter_metrics(request))
         max_err = (max(result.verification_errors.values())
                    if result.verification_errors else float("nan"))
         timing = self._timing_with_pipeline(dict(result.timings), sink)

@@ -19,12 +19,15 @@ surface.  Adding workload #5 means implementing this protocol and calling
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field, replace
 from types import MappingProxyType
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigurationError, VerificationError
 from ..harness.runner import MeasurementProtocol
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 
 __all__ = [
     "ParamSpec",
@@ -562,6 +565,48 @@ class Workload:
     def _run(self, request: RunRequest) -> WorkloadResult:
         raise NotImplementedError
 
+    def counter_metrics(self, request: RunRequest) -> Dict[str, float]:
+        """``counter_*`` profiling-counter metrics for *request*'s kernel.
+
+        The paper's NCU-table quantities
+        (:class:`~repro.profiling.counters.CounterSet`), surfaced uniformly
+        in every :class:`WorkloadResult` via the workload's
+        :meth:`tuning_model`.  Counters derive from the compiled kernel and
+        the analytic timing model alone, so they are identical across
+        executor modes (guarded by a parity test) and memoisable on the
+        model/launch/backend/gpu/fast-math key.
+        """
+        model, launch = self.tuning_model(request)
+        key = (model, launch, request.backend, request.gpu,
+               request.fast_math)
+        try:
+            cached = _COUNTER_MEMO.get(key)
+        except TypeError:  # unhashable launch: compute uncached
+            return self._compute_counter_metrics(request, model, launch)
+        if cached is None:
+            cached = self._compute_counter_metrics(request, model, launch)
+            _COUNTER_MEMO[key] = cached
+            while len(_COUNTER_MEMO) > _COUNTER_MEMO_MAXSIZE:
+                _COUNTER_MEMO.pop(next(iter(_COUNTER_MEMO)))
+        return dict(cached)
+
+    @staticmethod
+    def _compute_counter_metrics(request: RunRequest, model,
+                                 launch) -> Dict[str, float]:
+        from ..backends import get_backend
+        from ..gpu.specs import get_gpu
+        from ..profiling.counters import collect_counters
+
+        run = get_backend(request.backend).time(
+            model, get_gpu(request.gpu), launch,
+            fast_math=request.fast_math)
+        flat: Dict[str, float] = {}
+        for key, value in collect_counters(run).as_dict().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            flat[f"counter_{key}"] = float(value)
+        return flat
+
     def run(self, request: RunRequest) -> WorkloadResult:
         """Validate *request* and execute it.
 
@@ -575,7 +620,30 @@ class Workload:
         knobs are first rewritten from the tuning database (searching on a
         miss in ``"search"`` mode); the result's request reflects what
         actually ran and its provenance carries a ``"tuning"`` entry.
+
+        Every run feeds the ``workload_run_latency_ms`` histogram of the
+        process metrics registry; when a
+        :class:`~repro.obs.trace.TraceCollector` is installed the run is
+        additionally wrapped in a ``workload.run`` span (with nested
+        ``tuning.resolve`` / ``device.drain`` / ``graph.replay`` children)
+        — the disabled path never touches the collector.
         """
+        start_s = time.perf_counter()
+        collector = _trace._ACTIVE
+        if collector is None:
+            result = self._run_validated(request)
+        else:
+            with collector.span("workload.run", workload=self.name,
+                                backend=request.backend, gpu=request.gpu,
+                                executor=request.executor) as sp:
+                result = self._run_validated(request)
+                sp.set_modelled(_modelled_result_ms(result))
+        _metrics.observe("workload_run_latency_ms",
+                         (time.perf_counter() - start_s) * 1e3,
+                         workload=self.name)
+        return result
+
+    def _run_validated(self, request: RunRequest) -> WorkloadResult:
         if request.workload not in (self.name, ""):
             raise ConfigurationError(
                 f"request for workload {request.workload!r} dispatched to "
@@ -588,7 +656,15 @@ class Workload:
         if request.tune != "off":
             from ..tuning import resolve_tuning
 
-            request, tuning_info = resolve_tuning(self, request)
+            collector = _trace._ACTIVE
+            if collector is None:
+                request, tuning_info = resolve_tuning(self, request)
+            else:
+                with collector.span("tuning.resolve", workload=self.name,
+                                    mode=request.tune) as sp:
+                    request, tuning_info = resolve_tuning(self, request)
+                    sp.annotate(source=tuning_info.get("source"),
+                                applied=tuning_info.get("applied"))
             request = request.replace(
                 params=self.validate_params(request.params))
         try:
@@ -639,3 +715,17 @@ class Workload:
             max_rel_error=getattr(exc, "max_rel_error", None),
             detail=str(exc))
         return result
+
+
+#: memo for :meth:`Workload.counter_metrics` — counters are pure functions
+#: of (model, launch, backend, gpu, fast_math), so repeat runs pay nothing
+_COUNTER_MEMO: Dict[object, Dict[str, float]] = {}
+_COUNTER_MEMO_MAXSIZE = 256
+
+
+def _modelled_result_ms(result: WorkloadResult) -> Optional[float]:
+    """The modelled device time a result attributes to its run, if any."""
+    value = result.metrics.get("kernel_time_ms")
+    if isinstance(value, (int, float)) and math.isfinite(value):
+        return float(value)
+    return None

@@ -34,6 +34,7 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from ..obs import metrics as _obs_metrics
 from .base import RunRequest, Verification, WorkloadResult
 
 __all__ = ["ResultCache", "run_cached", "result_cache_info",
@@ -136,6 +137,7 @@ class ResultCache:
             if result is not None:
                 self._entries.move_to_end(request)
                 self._hits += 1
+                _obs_metrics.inc("result_cache_hits_total")
                 return _clone(result)
         if self.disk_dir is not None:
             result = self._disk_get(request)
@@ -144,9 +146,12 @@ class ResultCache:
                     self._hits += 1
                     self._disk_hits += 1
                     self._remember(request, result)
+                _obs_metrics.inc("result_cache_hits_total")
+                _obs_metrics.inc("result_cache_disk_hits_total")
                 return _clone(result)
         with self._lock:
             self._misses += 1
+        _obs_metrics.inc("result_cache_misses_total")
         return None
 
     def put(self, request: RunRequest, result: WorkloadResult) -> None:

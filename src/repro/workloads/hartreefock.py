@@ -244,6 +244,7 @@ class HartreeFockWorkload(Workload):
                 "kernel_time_ms": result.kernel_time_ms,
                 "nquads": float(result.nquads),
                 "surviving_fraction": result.surviving_fraction,
+                **self.counter_metrics(request),
             },
             primary_metric=self.primary_metric,
             verification=Verification(ran=result.verified,

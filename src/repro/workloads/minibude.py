@@ -239,6 +239,7 @@ class MiniBudeWorkload(Workload):
             metrics={
                 "gflops": result.gflops,
                 "kernel_time_ms": result.kernel_time_ms,
+                **self.counter_metrics(request),
             },
             primary_metric=self.primary_metric,
             verification=Verification(ran=result.verified,

@@ -217,6 +217,7 @@ class StencilWorkload(Workload):
                 "bandwidth_gbs": result.bandwidth_gbs,
                 "mean_bandwidth_gbs": result.mean_bandwidth_gbs,
                 "kernel_time_ms": result.kernel_time_ms,
+                **self.counter_metrics(request),
             },
             primary_metric=self.primary_metric,
             verification=Verification(ran=result.verified,

@@ -170,6 +170,19 @@ class TestRepoBaseline:
         lowered = stats["test_bench_lowered_stencil_graph_replay"]["min"]
         assert vectorized >= 2.0 * lowered
 
+    def test_trace_disabled_dispatch_baseline_within_2x(self):
+        """ISSUE-10 acceptance: the tracing-instrumented (but disabled)
+        workload-dispatch baseline stays within 2x of the plain dispatch
+        baseline — the disabled path is one module-attribute read per hook
+        site plus one histogram sample per run."""
+        import os
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        stats = load_stats(os.path.join(root, "benchmarks", "baseline.json"))
+        plain = stats["test_bench_workload_dispatch"]["min"]
+        instrumented = \
+            stats["test_bench_trace_disabled_workload_dispatch"]["min"]
+        assert instrumented <= 2.0 * plain
+
     def test_graph_replay_baseline_beats_reenqueue_2x(self):
         """ISSUE-4 acceptance: replaying a captured device graph is at least
         2x faster than re-enqueueing the same sweep point from scratch.

@@ -1,0 +1,34 @@
+"""Fixtures for the observability suite."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.metrics import reset_metrics
+from repro.workloads import clear_result_cache, get_workload
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_collector():
+    """A trace collector must never leak across tests (or into the suite)."""
+    assert trace._ACTIVE is None
+    yield
+    assert trace._ACTIVE is None
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics():
+    """Counter assertions in this suite start from a zeroed registry."""
+    reset_metrics()
+    yield
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_cache():
+    clear_result_cache()
+    yield
+    clear_result_cache()
+
+
+@pytest.fixture
+def stencil():
+    return get_workload("stencil")
